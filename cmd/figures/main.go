@@ -1,0 +1,309 @@
+// Command figures regenerates the paper's Figure 5 sweeps (reaching time
+// and emergency frequency versus transmission period, message drop
+// probability, and sensor uncertainty), the Figure 6 traces (information
+// filter and passing-window estimation), the §V-C RMSE study, and the
+// ablation table of DESIGN.md §6.
+//
+// Usage:
+//
+//	figures [-fig 5a|5b|5c|5d|5e|5f|6a|6b|rmse|ablation|all]
+//	        [-n 400] [-seed 42] [-csv] [-nn] [-models DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"safeplan/internal/experiments"
+	"safeplan/internal/leftturn"
+	"safeplan/internal/textio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig    = flag.String("fig", "all", "figure id: 5a–5f, 6a, 6b, rmse, ablation, stream, carfollow, or all")
+		n      = flag.Int("n", 400, "episodes per sweep point")
+		seed   = flag.Int64("seed", experiments.DefaultSeed, "base seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of tables/ASCII charts")
+		useNN  = flag.Bool("nn", false, "imitation-train NN planners as κ_n")
+		models = flag.String("models", "", "load trained NN planners from this directory")
+	)
+	flag.Parse()
+
+	cfg := leftturn.DefaultConfig()
+	var pl experiments.Planners
+	var err error
+	switch {
+	case *models != "":
+		pl, err = experiments.LoadPlanners(*models, cfg)
+	case *useNN:
+		log.Print("training NN planners…")
+		pl, err = experiments.TrainedPlanners(cfg, *seed)
+	default:
+		pl = experiments.ExpertPlanners(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app := &app{pl: pl, n: *n, seed: *seed, csv: *csv}
+	figs := map[string]func() error{
+		"5a": app.fig5a, "5b": app.fig5b,
+		"5c": app.fig5c, "5d": app.fig5d,
+		"5e": app.fig5e, "5f": app.fig5f,
+		"6a": app.fig6a, "6b": app.fig6b,
+		"rmse": app.rmse, "ablation": app.ablation,
+		"stream": app.stream, "carfollow": app.carfollow,
+	}
+	if *fig == "all" {
+		for _, id := range []string{"5a", "5b", "5c", "5d", "5e", "5f", "6a", "6b", "rmse", "ablation", "stream", "carfollow"} {
+			if err := figs[id](); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	f, ok := figs[*fig]
+	if !ok {
+		log.Fatalf("unknown figure %q", *fig)
+	}
+	if err := f(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type app struct {
+	pl   experiments.Planners
+	n    int
+	seed int64
+	csv  bool
+
+	transmission, drop, sensorPts []experiments.SweepPoint
+}
+
+func (a *app) sweep(kind string) ([]experiments.SweepPoint, error) {
+	var err error
+	switch kind {
+	case "transmission":
+		if a.transmission == nil {
+			a.transmission, err = experiments.SweepTransmission(a.pl, a.n, a.seed)
+		}
+		return a.transmission, err
+	case "drop":
+		if a.drop == nil {
+			a.drop, err = experiments.SweepDrop(a.pl, a.n, a.seed)
+		}
+		return a.drop, err
+	default:
+		if a.sensorPts == nil {
+			a.sensorPts, err = experiments.SweepSensor(a.pl, a.n, a.seed)
+		}
+		return a.sensorPts, err
+	}
+}
+
+// renderSweep prints a sweep either as a table/CSV or as an ASCII chart.
+func (a *app) renderSweep(title, xLabel, kind string, emergency bool) error {
+	pts, err := a.sweep(kind)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  (n=%d per point)\n", title, a.n)
+	pick := func(p experiments.SweepPoint) (float64, float64, float64) {
+		if emergency {
+			return p.PureEm, p.BasicEm, p.UltEm
+		}
+		return p.PureReach, p.BasicReach, p.UltReach
+	}
+	if a.csv {
+		tb := textio.NewTable(xLabel, "pure", "basic", "ultimate")
+		for _, p := range pts {
+			pu, ba, ul := pick(p)
+			tb.AddRow(textio.F(p.X, 3), textio.F(pu, 4), textio.F(ba, 4), textio.F(ul, 4))
+		}
+		if err := tb.CSV(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+	xs := make([]float64, len(pts))
+	pu := make([]float64, len(pts))
+	ba := make([]float64, len(pts))
+	ul := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+		pu[i], ba[i], ul[i] = pick(p)
+	}
+	if err := textio.Chart(os.Stdout, fmt.Sprintf("  x = %s", xLabel), xs, 12,
+		textio.Series{Name: "pure", Y: pu},
+		textio.Series{Name: "basic", Y: ba},
+		textio.Series{Name: "ultimate", Y: ul}); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func (a *app) fig5a() error {
+	return a.renderSweep("Fig. 5a: reaching time vs transmission time step", "dt_m=dt_s [s]", "transmission", false)
+}
+func (a *app) fig5b() error {
+	return a.renderSweep("Fig. 5b: emergency frequency vs transmission time step", "dt_m=dt_s [s]", "transmission", true)
+}
+func (a *app) fig5c() error {
+	return a.renderSweep("Fig. 5c: reaching time vs message drop probability", "p_d", "drop", false)
+}
+func (a *app) fig5d() error {
+	return a.renderSweep("Fig. 5d: emergency frequency vs message drop probability", "p_d", "drop", true)
+}
+func (a *app) fig5e() error {
+	return a.renderSweep("Fig. 5e: reaching time vs sensor uncertainty", "delta", "sensor", false)
+}
+func (a *app) fig5f() error {
+	return a.renderSweep("Fig. 5f: emergency frequency vs sensor uncertainty", "delta", "sensor", true)
+}
+
+func (a *app) fig6a() error {
+	samples, err := experiments.FilterTrace(a.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 6a: measured vs filtered velocity (sensors only, δ=3)")
+	tb := textio.NewTable("t", "true_v", "measured_v", "filtered_v")
+	// Subsample for terminal output; CSV gets everything.
+	step := 1
+	if !a.csv && len(samples) > 60 {
+		step = len(samples) / 60
+	}
+	for i := 0; i < len(samples); i += step {
+		s := samples[i]
+		tb.AddRow(textio.F(s.T, 2), textio.F(s.TrueV, 3), textio.F(s.MeasV, 3), textio.F(s.FilteredV, 3))
+	}
+	var err2 error
+	if a.csv {
+		err2 = tb.CSV(os.Stdout)
+	} else {
+		err2 = tb.Render(os.Stdout)
+	}
+	fmt.Println()
+	return err2
+}
+
+func (a *app) fig6b() error {
+	res, err := experiments.WindowTrace(a.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 6b: passing-window estimates (real passing: %.2f–%.2f s)\n",
+		res.RealEnter, res.RealExit)
+	tb := textio.NewTable("t", "cons_enter", "cons_exit", "aggr_enter", "aggr_exit")
+	step := 1
+	if !a.csv && len(res.Samples) > 40 {
+		step = len(res.Samples) / 40
+	}
+	for i := 0; i < len(res.Samples); i += step {
+		s := res.Samples[i]
+		tb.AddRow(textio.F(s.T, 2), textio.F(s.ConsEnter, 2), textio.F(s.ConsExit, 2),
+			textio.F(s.AggrEnter, 2), textio.F(s.AggrExit, 2))
+	}
+	var err2 error
+	if a.csv {
+		err2 = tb.CSV(os.Stdout)
+	} else {
+		err2 = tb.Render(os.Stdout)
+	}
+	fmt.Println()
+	return err2
+}
+
+func (a *app) rmse() error {
+	trajectories := 200
+	res, err := experiments.FilterRMSE(trajectories, a.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("§V-C RMSE study (%d trajectories, sensors only, δ=2)\n", res.Trajectories)
+	tb := textio.NewTable("quantity", "raw RMSE", "filtered RMSE", "reduction")
+	tb.AddRow("position", textio.F(res.PosBefore, 4), textio.F(res.PosAfter, 4),
+		textio.F(res.PosReductionPercent, 1)+"%")
+	tb.AddRow("velocity", textio.F(res.VelBefore, 4), textio.F(res.VelAfter, 4),
+		textio.F(res.VelReductionPercent, 1)+"%")
+	var err2 error
+	if a.csv {
+		err2 = tb.CSV(os.Stdout)
+	} else {
+		err2 = tb.Render(os.Stdout)
+	}
+	fmt.Println()
+	return err2
+}
+
+func (a *app) ablation() error {
+	rows, err := experiments.Ablations(a.pl, a.n, a.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Ablations (messages delayed, conservative κ_n, n=%d)\n", a.n)
+	tb := textio.NewTable("variant", "reaching time", "safe rate", "η value", "emergency freq")
+	for _, r := range rows {
+		tb.AddRow(r.Variant, textio.F(r.ReachTime, 3)+"s", textio.Pct(r.SafeRate),
+			textio.F(r.Eta, 3), textio.Pct(r.EmergencyFreq))
+	}
+	var err2 error
+	if a.csv {
+		err2 = tb.CSV(os.Stdout)
+	} else {
+		err2 = tb.Render(os.Stdout)
+	}
+	fmt.Println()
+	return err2
+}
+
+func (a *app) stream() error {
+	rows, err := experiments.StreamTable(a.pl, a.n, a.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Multi-vehicle extension: oncoming stream, messages delayed, aggressive κ_n (n=%d)\n", a.n)
+	tb := textio.NewTable("vehicles", "planner", "reaching time", "safe rate", "η value", "emergency freq")
+	for _, r := range rows {
+		tb.AddRow(fmt.Sprint(r.Vehicles), r.PlannerType,
+			textio.F(r.ReachTime, 3)+"s", textio.Pct(r.SafeRate),
+			textio.F(r.Eta, 3), textio.Pct(r.EmergencyFreq))
+	}
+	var err2 error
+	if a.csv {
+		err2 = tb.CSV(os.Stdout)
+	} else {
+		err2 = tb.Render(os.Stdout)
+	}
+	fmt.Println()
+	return err2
+}
+
+func (a *app) carfollow() error {
+	rows, err := experiments.CarFollowTable(a.n, a.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Car-following case study (§II-A unsafe set), aggressive κ_n (n=%d)\n", a.n)
+	tb := textio.NewTable("settings", "planner", "reaching time", "safe rate", "η value", "emergency freq")
+	for _, r := range rows {
+		tb.AddRow(r.Setting, r.PlannerType,
+			textio.F(r.ReachTime, 3)+"s", textio.Pct(r.SafeRate),
+			textio.F(r.Eta, 3), textio.Pct(r.EmergencyFreq))
+	}
+	var err2 error
+	if a.csv {
+		err2 = tb.CSV(os.Stdout)
+	} else {
+		err2 = tb.Render(os.Stdout)
+	}
+	fmt.Println()
+	return err2
+}

@@ -1,0 +1,116 @@
+// Command simulate runs one closed-loop episode of the unprotected left
+// turn and prints the outcome — optionally the full per-step trace as CSV.
+//
+// Usage:
+//
+//	simulate [-planner cons|aggr] [-design pure|basic|ultimate]
+//	         [-setting none|delayed|lost] [-seed 1] [-trace]
+//	         [-models DIR]   (use trained NN planners instead of the experts)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/experiments"
+	"safeplan/internal/planner"
+	"safeplan/internal/sensor"
+	"safeplan/internal/sim"
+	"safeplan/internal/textio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simulate: ")
+	var (
+		plKind  = flag.String("planner", "cons", "embedded planner κ_n: cons or aggr")
+		design  = flag.String("design", "ultimate", "agent design: pure, basic, or ultimate")
+		setting = flag.String("setting", "none", "communication setting: none, delayed, or lost")
+		seed    = flag.Int64("seed", 1, "episode seed")
+		trace   = flag.Bool("trace", false, "dump the per-step trace as CSV to stdout")
+		models  = flag.String("models", "", "directory with trained NN models (empty: analytic experts)")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	switch *setting {
+	case "none":
+	case "delayed":
+		cfg.Comms = comms.Delayed(experiments.DelayedDelay, experiments.DelayedDropProb)
+	case "lost":
+		cfg.Comms = comms.Lost()
+		cfg.Sensor = sensor.Uniform(experiments.LostSensorDelta)
+	default:
+		log.Fatalf("unknown setting %q", *setting)
+	}
+
+	pl := experiments.ExpertPlanners(cfg.Scenario)
+	if *models != "" {
+		var err error
+		if pl, err = experiments.LoadPlanners(*models, cfg.Scenario); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var kn planner.Planner
+	switch *plKind {
+	case "cons":
+		kn = pl.Cons
+	case "aggr":
+		kn = pl.Aggr
+	default:
+		log.Fatalf("unknown planner %q", *plKind)
+	}
+
+	var agent core.Agent
+	switch *design {
+	case "pure":
+		agent = &core.PureNN{Cfg: cfg.Scenario, Planner: kn}
+	case "basic":
+		agent = core.NewBasic(cfg.Scenario, kn)
+	case "ultimate":
+		agent = core.NewUltimate(cfg.Scenario, kn)
+		cfg.InfoFilter = true
+	default:
+		log.Fatalf("unknown design %q", *design)
+	}
+
+	r, err := sim.Run(cfg, agent, sim.Options{Seed: *seed, Trace: *trace})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("agent:    %s\n", agent.Name())
+	fmt.Printf("setting:  %s  seed: %d\n", *setting, *seed)
+	switch {
+	case r.Collided:
+		fmt.Printf("outcome:  COLLISION (η = %.3f)\n", r.Eta)
+	case r.Reached:
+		fmt.Printf("outcome:  reached target in %.2f s (η = %.4f)\n", r.ReachTime, r.Eta)
+	default:
+		fmt.Printf("outcome:  timeout (η = 0)\n")
+	}
+	fmt.Printf("steps:    %d, emergency steps: %d (%.2f%%)\n",
+		r.Steps, r.EmergencySteps, 100*r.EmergencyFrequency())
+
+	if *trace {
+		tb := textio.NewTable("t", "ego_p", "ego_v", "ego_a", "onc_p", "onc_v",
+			"est_p", "est_v", "cons_lo", "cons_hi", "aggr_lo", "aggr_hi", "emergency")
+		for _, s := range r.Trace {
+			tb.AddRow(
+				textio.F(s.T, 2), textio.F(s.EgoP, 3), textio.F(s.EgoV, 3), textio.F(s.EgoA, 2),
+				textio.F(s.OncP, 3), textio.F(s.OncV, 3),
+				textio.F(s.EstP, 3), textio.F(s.EstV, 3),
+				textio.F(s.ConsLo, 2), textio.F(s.ConsHi, 2),
+				textio.F(s.AggrLo, 2), textio.F(s.AggrHi, 2),
+				fmt.Sprint(s.Emergency),
+			)
+		}
+		if err := tb.CSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

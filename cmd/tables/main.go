@@ -1,0 +1,103 @@
+// Command tables regenerates Table I and Table II of the paper: the
+// comparison between the pure NN planners (conservative and aggressive),
+// the basic compound planners, and the ultimate compound planners under
+// the three communication settings.
+//
+// Usage:
+//
+//	tables [-table 1|2|all] [-n 2000] [-seed 42] [-csv]
+//	       [-nn]           (imitation-train the NN planners first)
+//	       [-models DIR]   (load trained NN planners from DIR)
+//
+// Without -nn or -models the analytic expert policies stand in for κ_n,
+// which reproduces the same shapes in a fraction of the time.  The paper
+// ran 80 000 episodes per setting; pass -n 80000 for full scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"safeplan/internal/experiments"
+	"safeplan/internal/leftturn"
+	"safeplan/internal/textio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	var (
+		table  = flag.String("table", "all", "which table: 1, 2, or all")
+		n      = flag.Int("n", experiments.DefaultEpisodes, "episodes per setting and design")
+		seed   = flag.Int64("seed", experiments.DefaultSeed, "base seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		useNN  = flag.Bool("nn", false, "imitation-train NN planners as κ_n")
+		models = flag.String("models", "", "load trained NN planners from this directory")
+	)
+	flag.Parse()
+
+	pl, err := resolvePlanners(*useNN, *models, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(kind experiments.PlannerKind, title string) {
+		start := time.Now()
+		rows, err := experiments.Table(kind, pl, *n, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  (n=%d per cell, κ_n=%s, %.1fs)\n", title, *n, pl.Pick(kind).Name(), time.Since(start).Seconds())
+		tb := textio.NewTable("settings", "planner", "reaching time", "safe rate",
+			"η value", "winning %", "emergency freq")
+		for _, r := range rows {
+			tb.AddRow(
+				r.Setting, r.PlannerType,
+				textio.F(r.ReachTime, 3)+"s",
+				textio.Pct(r.SafeRate),
+				textio.F(r.Eta, 3),
+				textio.Pct(r.Winning),
+				textio.Pct(r.EmergencyFreq),
+			)
+		}
+		var renderErr error
+		if *csv {
+			renderErr = tb.CSV(os.Stdout)
+		} else {
+			renderErr = tb.Render(os.Stdout)
+		}
+		if renderErr != nil {
+			log.Fatal(renderErr)
+		}
+		fmt.Println()
+	}
+
+	switch *table {
+	case "1":
+		run(experiments.Conservative, "Table I: conservative κ_n")
+	case "2":
+		run(experiments.Aggressive, "Table II: aggressive κ_n")
+	case "all":
+		run(experiments.Conservative, "Table I: conservative κ_n")
+		run(experiments.Aggressive, "Table II: aggressive κ_n")
+	default:
+		log.Fatalf("unknown table %q", *table)
+	}
+}
+
+// resolvePlanners picks the κ_n pair: loaded models, freshly trained NNs,
+// or the analytic experts.
+func resolvePlanners(train bool, modelsDir string, seed int64) (experiments.Planners, error) {
+	cfg := leftturn.DefaultConfig()
+	if modelsDir != "" {
+		return experiments.LoadPlanners(modelsDir, cfg)
+	}
+	if train {
+		log.Print("training NN planners (use -models to reuse saved ones)…")
+		return experiments.TrainedPlanners(cfg, seed)
+	}
+	return experiments.ExpertPlanners(cfg), nil
+}

@@ -1,0 +1,58 @@
+// Oncoming stream: cross an unprotected left turn against a platoon of
+// several oncoming vehicles under heavy communication disturbance — the
+// multi-vehicle generalization of the paper's case study.  The compound
+// planner tracks every vehicle independently (one information filter
+// each), yields to each conflict in turn, and threads the first safe gap.
+//
+//	go run ./examples/stream [vehicles]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"safeplan"
+)
+
+func main() {
+	log.SetFlags(0)
+	vehicles := 3
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			log.Fatalf("bad vehicle count %q", os.Args[1])
+		}
+		vehicles = v
+	}
+
+	scenario := safeplan.DefaultScenario()
+	cfg := safeplan.DefaultMultiSimConfig()
+	cfg.Vehicles = vehicles
+	cfg.Comms = safeplan.DelayedComms(0.25, 0.5)
+	cfg.Sensor = safeplan.UniformSensor(2)
+	cfg.InfoFilter = true
+
+	const episodes = 150
+	fmt.Printf("%d oncoming vehicles, messages delayed 0.25 s + 50%% dropped, δ = 2\n\n", vehicles)
+	fmt.Printf("%-34s %10s %8s %8s %9s\n", "agent", "reach [s]", "safe", "η", "emerg")
+	for _, tc := range []struct {
+		agent safeplan.MultiAgent
+	}{
+		{safeplan.BuildMultiPure(scenario, safeplan.NewAggressiveExpert(scenario))},
+		{safeplan.BuildMultiBasic(scenario, safeplan.NewAggressiveExpert(scenario))},
+		{safeplan.BuildMultiUltimate(scenario, safeplan.NewAggressiveExpert(scenario))},
+		{safeplan.BuildMultiUltimate(scenario, safeplan.NewConservativeExpert(scenario))},
+	} {
+		st, err := safeplan.RunMultiCampaign(cfg, tc.agent, episodes, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %10.3f %7.1f%% %8.3f %8.2f%%\n",
+			tc.agent.Name(), st.MeanReachTimeSafe, 100*st.SafeRate(),
+			st.MeanEta, 100*st.EmergencyFreq)
+	}
+	fmt.Println("\nThe pure planner's collision risk compounds with every extra vehicle;")
+	fmt.Println("the compound planners stay at 100% by monitoring each vehicle's window.")
+}

@@ -1,0 +1,3 @@
+module safeplan
+
+go 1.22

@@ -1,0 +1,202 @@
+package carfollow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/dynamics"
+	"safeplan/internal/fusion"
+	"safeplan/internal/sensor"
+	"safeplan/internal/sim"
+	"safeplan/internal/traffic"
+)
+
+// SimConfig assembles a car-following campaign: the scenario constants,
+// the communication/sensing stack (identical to the left-turn study), and
+// the stop-and-go lead workload.
+type SimConfig struct {
+	Scenario Config
+	Comms    comms.Config
+	Sensor   sensor.Config
+	Lead     traffic.StopAndGoConfig
+
+	DtM float64 // message transmission period [s]
+	DtS float64 // sensing period [s]
+
+	// InfoFilter enables the Kalman component with replay.
+	InfoFilter bool
+
+	Horizon float64 // episode cutoff [s]; 0 selects DefaultHorizon
+
+	// LeadSpeedMin/Max sample the initial lead speed; the ego starts at
+	// the same speed so episodes begin in equilibrium.
+	LeadSpeedMin, LeadSpeedMax float64
+}
+
+// DefaultHorizon bounds a car-following episode (the ~400 m course takes
+// ~40 s at typical speeds).
+const DefaultHorizon = 90
+
+// DefaultSimConfig returns the car-following evaluation defaults.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Scenario:     DefaultConfig(),
+		Comms:        comms.NoDisturbance(),
+		Sensor:       sensor.Uniform(1),
+		Lead:         traffic.DefaultStopAndGoConfig(),
+		DtM:          0.1,
+		DtS:          0.1,
+		Horizon:      DefaultHorizon,
+		LeadSpeedMin: 6,
+		LeadSpeedMax: 14,
+	}
+}
+
+// Validate checks the configuration.
+func (c SimConfig) Validate() error {
+	if err := c.Scenario.Validate(); err != nil {
+		return err
+	}
+	if err := c.Comms.Validate(); err != nil {
+		return err
+	}
+	if err := c.Sensor.Validate(); err != nil {
+		return err
+	}
+	if err := c.Lead.Validate(); err != nil {
+		return err
+	}
+	if c.DtM <= 0 || c.DtS <= 0 {
+		return fmt.Errorf("carfollow: non-positive periods")
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("carfollow: negative horizon")
+	}
+	if c.LeadSpeedMin > c.LeadSpeedMax || c.LeadSpeedMin < 0 {
+		return fmt.Errorf("carfollow: bad lead speed range")
+	}
+	return nil
+}
+
+// Run simulates one car-following episode.  The returned sim.Result reuses
+// the left-turn study's scoring: η = −1 on a gap violation, 1/t on
+// reaching the goal, 0 on timeout.
+func Run(cfg SimConfig, agent Agent, seed int64) (sim.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = DefaultHorizon
+	}
+	master := rand.New(rand.NewSource(seed))
+	driver, err := traffic.NewStopAndGo(cfg.Lead, rand.New(rand.NewSource(master.Int63())))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	channel, err := comms.NewChannel(cfg.Comms, rand.New(rand.NewSource(master.Int63())))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	sens, err := sensor.New(cfg.Sensor, rand.New(rand.NewSource(master.Int63())))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	filt, err := fusion.New(fusion.Config{
+		Limits:    cfg.Scenario.Lead,
+		Sensor:    cfg.Sensor,
+		UseKalman: cfg.InfoFilter,
+		Replay:    cfg.InfoFilter,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	initRng := rand.New(rand.NewSource(master.Int63()))
+
+	sc := cfg.Scenario
+	ego := sc.EgoInit
+	lead := sc.LeadInit
+	if cfg.LeadSpeedMax > 0 {
+		lead.V = cfg.LeadSpeedMin + initRng.Float64()*(cfg.LeadSpeedMax-cfg.LeadSpeedMin)
+		ego.V = lead.V
+	}
+	filt.InitExact(0, lead, 0)
+
+	msgTick := comms.NewTicker(cfg.DtM)
+	msgTick.Due(0)
+	sensTick := comms.NewTicker(cfg.DtS)
+	sensTick.Due(0)
+
+	var res sim.Result
+	var leadA float64
+	dt := sc.DtC
+	maxSteps := int(horizon/dt) + 1
+	for step := 0; step < maxSteps; step++ {
+		t := float64(step) * dt
+
+		if at, ok := msgTick.Due(t); ok {
+			channel.Send(comms.Message{Sender: 1, T: at, P: lead.P, V: lead.V, A: leadA})
+		}
+		for _, m := range channel.Poll(t) {
+			filt.OnMessage(m)
+		}
+		if at, ok := sensTick.Due(t); ok {
+			filt.OnReading(sens.Measure(1, at, lead, leadA))
+		}
+
+		est := filt.EstimateAt(t)
+		if !est.P.Contains(lead.P) || !est.V.Contains(lead.V) {
+			res.SoundnessViolations++
+		}
+		k := Knowledge{
+			Sound: LeadEstimate{P: est.SoundP, V: est.SoundV,
+				PointP: est.PointP, PointV: est.PointV, A: est.A},
+			Fused: LeadEstimate{P: est.P, V: est.V,
+				PointP: est.PointP, PointV: est.PointV, A: est.A},
+		}
+		a0, emergency := agent.Accel(t, ego, k)
+		if emergency {
+			res.EmergencySteps++
+		}
+
+		ba := driver.Accel(t, lead)
+		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)
+		lead, leadA = dynamics.Step(lead, ba, dt, sc.Lead)
+		res.Steps++
+
+		if sc.Violation(ego, lead) {
+			res.Collided = true
+			res.Eta = -1
+			return res, nil
+		}
+		if sc.ReachedGoal(ego) {
+			res.Reached = true
+			res.ReachTime = t + dt
+			res.Eta = 1 / res.ReachTime
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// RunMany simulates n seed-paired episodes in parallel.
+func RunMany(cfg SimConfig, agent Agent, n int, baseSeed int64) ([]sim.Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("carfollow: non-positive episode count %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]sim.Result, n)
+	errs := make([]error, n)
+	sim.ParallelFor(n, func(i int) {
+		results[i], errs[i] = Run(cfg, agent, baseSeed+int64(i))
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("carfollow: episode %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,192 @@
+package carfollow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/eval"
+	"safeplan/internal/sensor"
+)
+
+func simCfg() SimConfig { return DefaultSimConfig() }
+
+func TestSimValidate(t *testing.T) {
+	muts := map[string]func(*SimConfig){
+		"dtm":      func(c *SimConfig) { c.DtM = 0 },
+		"dts":      func(c *SimConfig) { c.DtS = -1 },
+		"horizon":  func(c *SimConfig) { c.Horizon = -1 },
+		"speeds":   func(c *SimConfig) { c.LeadSpeedMin = 10; c.LeadSpeedMax = 5 },
+		"comms":    func(c *SimConfig) { c.Comms.DropProb = 2 },
+		"sensor":   func(c *SimConfig) { c.Sensor.DeltaP = -1 },
+		"lead":     func(c *SimConfig) { c.Lead.BrakeAccel = 1 },
+		"scenario": func(c *SimConfig) { c.Scenario.PGap = 0 },
+	}
+	for name, mut := range muts {
+		c := simCfg()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestRunConservativeSafe(t *testing.T) {
+	cfg := simCfg()
+	r, err := Run(cfg, &Pure{Cfg: cfg.Scenario, Planner: ConservativeExpert(cfg.Scenario)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Collided {
+		t.Fatal("conservative follower violated the gap")
+	}
+	if !r.Reached {
+		t.Fatalf("episode timed out: %+v", r)
+	}
+	if r.SoundnessViolations != 0 {
+		t.Fatalf("sound estimate missed the lead %d times", r.SoundnessViolations)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := simCfg()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	agent := NewUltimate(cfg.Scenario, AggressiveExpert(cfg.Scenario))
+	cfg.InfoFilter = true
+	a, err := Run(cfg, agent, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, agent, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ReachTime != b.ReachTime || a.Steps != b.Steps {
+		t.Fatal("car-following sim not deterministic")
+	}
+}
+
+func TestPureAggressiveUnsafeUnderDisturbance(t *testing.T) {
+	cfg := simCfg()
+	cfg.Comms = comms.Lost()
+	cfg.Sensor = sensor.Uniform(2)
+	agent := &Pure{Cfg: cfg.Scenario, Planner: AggressiveExpert(cfg.Scenario)}
+	violations := 0
+	for seed := int64(0); seed < 40; seed++ {
+		r, err := Run(cfg, agent, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Collided {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Fatal("pure aggressive follower never violated the gap — workload too benign")
+	}
+}
+
+func TestCompoundAlwaysSafeAcrossSettings(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*SimConfig)
+	}{
+		{"none", func(*SimConfig) {}},
+		{"delayed", func(c *SimConfig) { c.Comms = comms.Delayed(0.25, 0.5) }},
+		{"lost", func(c *SimConfig) { c.Comms = comms.Lost(); c.Sensor = sensor.Uniform(2) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := simCfg()
+			tc.mut(&cfg)
+			cfg.InfoFilter = true
+			agent := NewUltimate(cfg.Scenario, AggressiveExpert(cfg.Scenario))
+			for seed := int64(0); seed < 30; seed++ {
+				r, err := Run(cfg, agent, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Collided {
+					t.Fatalf("seed %d: gap violation", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestUltimateFasterThanBasic(t *testing.T) {
+	// The aggressive braking assumption lets κ_n follow closer, which
+	// translates into earlier goal arrival (the ego rides nearer the lead).
+	cfg := simCfg()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	const n = 60
+	basicRs, err := RunMany(cfg, NewBasic(cfg.Scenario, AggressiveExpert(cfg.Scenario)), n, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ultCfg := cfg
+	ultCfg.InfoFilter = true
+	ultRs, err := RunMany(ultCfg, NewUltimate(ultCfg.Scenario, AggressiveExpert(ultCfg.Scenario)), n, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, us := eval.Aggregate(basicRs), eval.Aggregate(ultRs)
+	if bs.SafeRate() != 1 || us.SafeRate() != 1 {
+		t.Fatalf("compound designs unsafe: basic=%v ultimate=%v", bs.SafeRate(), us.SafeRate())
+	}
+	if us.MeanReachTimeSafe >= bs.MeanReachTimeSafe {
+		t.Fatalf("ultimate %v not faster than basic %v", us.MeanReachTimeSafe, bs.MeanReachTimeSafe)
+	}
+}
+
+func TestRunManyPairsSeeds(t *testing.T) {
+	cfg := simCfg()
+	agent := &Pure{Cfg: cfg.Scenario, Planner: ConservativeExpert(cfg.Scenario)}
+	rs, err := RunMany(cfg, agent, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		single, err := Run(cfg, agent, 30+int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ReachTime != single.ReachTime {
+			t.Fatalf("episode %d differs from direct run", i)
+		}
+	}
+	if _, err := RunMany(cfg, agent, 0, 0); err == nil {
+		t.Fatal("zero episodes accepted")
+	}
+}
+
+// End-to-end property: the car-following compound planner is safe across
+// random disturbance settings.
+func TestQuickCarFollowEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	f := func(seed int64) bool {
+		u := seed
+		if u < 0 {
+			u = -u
+		}
+		cfg := simCfg()
+		switch u % 3 {
+		case 1:
+			cfg.Comms = comms.Delayed(0.25, float64(u%20)*0.05)
+		case 2:
+			cfg.Comms = comms.Lost()
+			cfg.Sensor = sensor.Uniform(1 + float64(u%10)*0.3)
+		}
+		cfg.InfoFilter = u%2 == 0
+		agent := NewUltimate(cfg.Scenario, AggressiveExpert(cfg.Scenario))
+		r, err := Run(cfg, agent, seed)
+		if err != nil {
+			return false
+		}
+		return !r.Collided
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

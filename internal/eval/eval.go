@@ -1,0 +1,126 @@
+// Package eval implements the paper's evaluation function η (§II-A) and
+// the aggregate statistics reported in Tables I–II: mean reaching time
+// (safe episodes only), safe rate, mean η, winning percentage, and
+// emergency frequency — plus the RMSE metric of §V-C.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"safeplan/internal/sim"
+)
+
+// Stats aggregates a campaign of episodes for one planner configuration.
+type Stats struct {
+	N        int // episodes
+	Safe     int // episodes without a safety violation
+	Reached  int // episodes that reached the target set
+	Timeouts int // episodes that neither reached nor collided
+
+	MeanEta           float64 // mean η over all episodes
+	MeanReachTimeSafe float64 // mean reaching time over safe, reached episodes (paper's '*': only safe cases counted)
+	EmergencyFreq     float64 // emergency steps / total steps, pooled over the campaign
+
+	Etas []float64 // per-episode η, aligned with the seed order (for pairwise comparison)
+}
+
+// SafeRate is Safe/N.
+func (s Stats) SafeRate() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Safe) / float64(s.N)
+}
+
+// Aggregate folds episode results into Stats.  Results must come from the
+// same campaign (same seed sequence) for cross-planner comparisons to be
+// paired correctly.
+func Aggregate(results []sim.Result) Stats {
+	var st Stats
+	st.N = len(results)
+	var sumEta, sumReach float64
+	var reachedSafe int
+	var emSteps, steps int
+	for _, r := range results {
+		if !r.Collided {
+			st.Safe++
+		}
+		if r.Reached {
+			st.Reached++
+		}
+		if r.Reached && !r.Collided {
+			reachedSafe++
+			sumReach += r.ReachTime
+		}
+		if !r.Reached && !r.Collided {
+			st.Timeouts++
+		}
+		sumEta += r.Eta
+		emSteps += r.EmergencySteps
+		steps += r.Steps
+		st.Etas = append(st.Etas, r.Eta)
+	}
+	if st.N > 0 {
+		st.MeanEta = sumEta / float64(st.N)
+	}
+	if reachedSafe > 0 {
+		st.MeanReachTimeSafe = sumReach / float64(reachedSafe)
+	}
+	if steps > 0 {
+		st.EmergencyFreq = float64(emSteps) / float64(steps)
+	}
+	return st
+}
+
+// WinningPercentage is the fraction of paired episodes where a's η strictly
+// exceeds b's — the paper's "winning percentage" of the ultimate compound
+// planner against each alternative.
+func WinningPercentage(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: unpaired η series (%d vs %d)", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("eval: empty η series")
+	}
+	wins := 0
+	for i := range a {
+		if a[i] > b[i] {
+			wins++
+		}
+	}
+	return float64(wins) / float64(len(a)), nil
+}
+
+// RMSE returns the root-mean-square error between paired series.
+func RMSE(estimate, truth []float64) (float64, error) {
+	if len(estimate) != len(truth) {
+		return 0, fmt.Errorf("eval: unpaired series (%d vs %d)", len(estimate), len(truth))
+	}
+	if len(estimate) == 0 {
+		return 0, fmt.Errorf("eval: empty series")
+	}
+	var s float64
+	n := 0
+	for i := range estimate {
+		if math.IsNaN(estimate[i]) || math.IsNaN(truth[i]) {
+			continue // e.g. before the first sensor reading
+		}
+		d := estimate[i] - truth[i]
+		s += d * d
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("eval: only NaN samples")
+	}
+	return math.Sqrt(s / float64(n)), nil
+}
+
+// ReductionPercent expresses how much smaller after is than before, in
+// percent (the paper reports the filter cutting RMSE by 69% / 76%).
+func ReductionPercent(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (before - after) / before * 100
+}

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safeplan/internal/sim"
+)
+
+func TestAggregateBasics(t *testing.T) {
+	results := []sim.Result{
+		{Reached: true, ReachTime: 5, Eta: 0.2, Steps: 100, EmergencySteps: 10},
+		{Collided: true, Eta: -1, Steps: 50, EmergencySteps: 0},
+		{Steps: 600}, // timeout
+		{Reached: true, ReachTime: 10, Eta: 0.1, Steps: 200, EmergencySteps: 30},
+	}
+	st := Aggregate(results)
+	if st.N != 4 || st.Safe != 3 || st.Reached != 2 || st.Timeouts != 1 {
+		t.Fatalf("counts: %+v", st)
+	}
+	if got, want := st.SafeRate(), 0.75; got != want {
+		t.Fatalf("SafeRate = %v", got)
+	}
+	if got, want := st.MeanReachTimeSafe, 7.5; got != want {
+		t.Fatalf("MeanReachTimeSafe = %v", got)
+	}
+	if got, want := st.MeanEta, (0.2-1+0+0.1)/4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanEta = %v", got)
+	}
+	if got, want := st.EmergencyFreq, 40.0/950; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EmergencyFreq = %v", got)
+	}
+	if len(st.Etas) != 4 || st.Etas[1] != -1 {
+		t.Fatalf("Etas = %v", st.Etas)
+	}
+}
+
+func TestAggregateCollidedAfterReachNotCounted(t *testing.T) {
+	// A result flagged both reached and collided contributes to Reached but
+	// not to the safe reach-time mean.
+	st := Aggregate([]sim.Result{{Reached: true, Collided: true, ReachTime: 3}})
+	if st.MeanReachTimeSafe != 0 {
+		t.Fatalf("unsafe reach counted: %v", st.MeanReachTimeSafe)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	st := Aggregate(nil)
+	if st.N != 0 || st.SafeRate() != 0 || st.MeanEta != 0 {
+		t.Fatalf("empty aggregate: %+v", st)
+	}
+}
+
+func TestWinningPercentage(t *testing.T) {
+	a := []float64{0.2, 0.1, -1, 0.3}
+	b := []float64{0.1, 0.1, 0.2, -1}
+	got, err := WinningPercentage(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 { // wins at 0 and 3; tie at 1; loss at 2
+		t.Fatalf("WinningPercentage = %v", got)
+	}
+	if _, err := WinningPercentage(a, b[:2]); err == nil {
+		t.Fatal("unpaired series accepted")
+	}
+	if _, err := WinningPercentage(nil, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Fatalf("identical RMSE = %v, %v", got, err)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(12.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	// NaN samples skipped.
+	got, err = RMSE([]float64{math.NaN(), 1}, []float64{5, 1})
+	if err != nil || got != 0 {
+		t.Fatalf("NaN-skipping RMSE = %v, %v", got, err)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("unpaired series accepted")
+	}
+	if _, err := RMSE([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Fatal("all-NaN series accepted")
+	}
+}
+
+func TestReductionPercent(t *testing.T) {
+	if got := ReductionPercent(10, 3.1); math.Abs(got-69) > 1e-9 {
+		t.Fatalf("ReductionPercent = %v", got)
+	}
+	if got := ReductionPercent(0, 5); got != 0 {
+		t.Fatalf("zero-before reduction = %v", got)
+	}
+}
+
+// Property: winning percentage of a series against itself is 0 (no strict
+// wins) and a+b winning percentages of strictly ordered series sum to 1.
+func TestQuickWinningPercentage(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		self, err := WinningPercentage(raw, raw)
+		if err != nil || self != 0 {
+			return false
+		}
+		shifted := make([]float64, len(raw))
+		ok := true
+		for i, v := range raw {
+			// Skip values where adding 1 is lost to float granularity.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e15 {
+				ok = false
+				break
+			}
+			shifted[i] = v + 1
+		}
+		if !ok {
+			return true
+		}
+		up, err := WinningPercentage(shifted, raw)
+		if err != nil {
+			return false
+		}
+		return up == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/dynamics"
+	"safeplan/internal/eval"
+	"safeplan/internal/interval"
+	"safeplan/internal/leftturn"
+	"safeplan/internal/planner"
+	"safeplan/internal/sensor"
+	"safeplan/internal/sim"
+)
+
+// FilterSample is one row of the Fig. 6a trace: the oncoming vehicle's true
+// velocity, the raw sensor measurement, and the information-filter output.
+type FilterSample struct {
+	T         float64
+	TrueV     float64
+	MeasV     float64 // NaN before the first reading
+	FilteredV float64
+}
+
+// FilterTraceDelta is the sensor uncertainty used for the Fig. 6a trace
+// (large enough that the raw measurements visibly scatter, as in the
+// paper's figure).
+const FilterTraceDelta = 3.0
+
+// observerConfig builds a sensors-only configuration whose ego never moves,
+// so a full-horizon trace of the oncoming vehicle is recorded.
+func observerConfig(delta float64) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Lost()
+	cfg.Sensor = sensor.Uniform(delta)
+	cfg.InfoFilter = true
+	return cfg
+}
+
+// observer is an agent that parks the ego vehicle; it exists so trace
+// experiments observe the oncoming vehicle for the whole horizon.
+func observer(sc leftturn.Config) core.Agent {
+	return &core.PureNN{Cfg: sc, Planner: planner.Func{
+		PlannerName: "observer",
+		F: func(float64, dynamics.State, interval.Interval) float64 {
+			return sc.Ego.AMin
+		},
+	}}
+}
+
+// FilterTrace regenerates Fig. 6a: one sensor-only episode's velocity
+// series before and after the information filter.
+func FilterTrace(seed int64) ([]FilterSample, error) {
+	cfg := observerConfig(FilterTraceDelta)
+	r, err := sim.Run(cfg, observer(cfg.Scenario), sim.Options{Seed: seed, Trace: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: filter trace: %w", err)
+	}
+	var out []FilterSample
+	for _, s := range r.Trace {
+		out = append(out, FilterSample{
+			T:         s.T,
+			TrueV:     s.OncV,
+			MeasV:     s.MeasV,
+			FilteredV: s.EstV,
+		})
+	}
+	return out, nil
+}
+
+// WindowSample is one row of the Fig. 6b trace: the conservative (Eq. 7)
+// and aggressive (Eq. 8) passing-window estimates in absolute time.
+type WindowSample struct {
+	T                   float64
+	ConsEnter, ConsExit float64 // absolute times; +Inf possible for ConsExit
+	AggrEnter, AggrExit float64
+}
+
+// WindowTraceResult bundles the Fig. 6b series with the realized passing
+// interval of the oncoming vehicle.
+type WindowTraceResult struct {
+	Samples             []WindowSample
+	RealEnter, RealExit float64 // NaN if the vehicle never entered/exited
+}
+
+// WindowTrace regenerates Fig. 6b: the evolution of the conservative and
+// aggressive passing-window estimates over one episode, against the real
+// passing times.  It uses the ultimate configuration (information filter
+// on) under the delayed setting so both estimates are live.
+func WindowTrace(seed int64) (WindowTraceResult, error) {
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Delayed(DelayedDelay, DelayedDropProb)
+	cfg.Sensor = sensor.Uniform(1)
+	cfg.InfoFilter = true
+	r, err := sim.Run(cfg, observer(cfg.Scenario), sim.Options{Seed: seed, Trace: true})
+	if err != nil {
+		return WindowTraceResult{}, fmt.Errorf("experiments: window trace: %w", err)
+	}
+	res := WindowTraceResult{RealEnter: math.NaN(), RealExit: math.NaN()}
+	sc := cfg.Scenario
+	for _, s := range r.Trace {
+		if math.IsNaN(res.RealEnter) && s.OncP >= sc.Geometry.PF {
+			res.RealEnter = s.T
+		}
+		if math.IsNaN(res.RealExit) && s.OncP > sc.Geometry.PB {
+			res.RealExit = s.T
+		}
+		if s.OncP > sc.Geometry.PB {
+			break // window estimates past the crossing are uninteresting
+		}
+		res.Samples = append(res.Samples, WindowSample{
+			T:         s.T,
+			ConsEnter: s.T + s.ConsLo,
+			ConsExit:  s.T + s.ConsHi,
+			AggrEnter: s.T + s.AggrLo,
+			AggrExit:  s.T + s.AggrHi,
+		})
+	}
+	return res, nil
+}
+
+// RMSEResult is the §V-C information-filter study: position and velocity
+// RMSE of the raw measurements versus the filtered estimates, pooled over
+// sampled oncoming trajectories.
+type RMSEResult struct {
+	Trajectories int
+
+	PosBefore, PosAfter float64
+	VelBefore, VelAfter float64
+
+	PosReductionPercent float64
+	VelReductionPercent float64
+}
+
+// FilterRMSE regenerates the paper's RMSE numbers (position −69%,
+// velocity −76% after the filter) over n sampled trajectories in the
+// sensors-only setting with δ = 2.
+func FilterRMSE(n int, seed int64) (RMSEResult, error) {
+	if n <= 0 {
+		n = 200
+	}
+	cfg := observerConfig(2)
+	var measP, measV, filtP, filtV, trueP, trueV []float64
+	for i := 0; i < n; i++ {
+		r, err := sim.Run(cfg, observer(cfg.Scenario), sim.Options{Seed: seed + int64(i), Trace: true})
+		if err != nil {
+			return RMSEResult{}, fmt.Errorf("experiments: rmse episode %d: %w", i, err)
+		}
+		for _, s := range r.Trace {
+			if s.T < 1 {
+				continue // skip the exactly-known initial transient
+			}
+			measP = append(measP, s.MeasP)
+			measV = append(measV, s.MeasV)
+			filtP = append(filtP, s.EstP)
+			filtV = append(filtV, s.EstV)
+			trueP = append(trueP, s.OncP)
+			trueV = append(trueV, s.OncV)
+		}
+	}
+	res := RMSEResult{Trajectories: n}
+	var err error
+	if res.PosBefore, err = eval.RMSE(measP, trueP); err != nil {
+		return res, err
+	}
+	if res.PosAfter, err = eval.RMSE(filtP, trueP); err != nil {
+		return res, err
+	}
+	if res.VelBefore, err = eval.RMSE(measV, trueV); err != nil {
+		return res, err
+	}
+	if res.VelAfter, err = eval.RMSE(filtV, trueV); err != nil {
+		return res, err
+	}
+	res.PosReductionPercent = eval.ReductionPercent(res.PosBefore, res.PosAfter)
+	res.VelReductionPercent = eval.ReductionPercent(res.VelBefore, res.VelAfter)
+	return res, nil
+}

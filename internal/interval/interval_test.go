@@ -1,0 +1,318 @@
+package interval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	iv := New(-1, 2)
+	if iv.Lo != -1 || iv.Hi != 2 {
+		t.Fatalf("New(-1,2) = %v", iv)
+	}
+	if iv.IsEmpty() {
+		t.Fatal("non-empty interval reported empty")
+	}
+	if got := iv.Width(); got != 3 {
+		t.Fatalf("Width = %v, want 3", got)
+	}
+	if got := iv.Mid(); got != 0.5 {
+		t.Fatalf("Mid = %v, want 0.5", got)
+	}
+}
+
+func TestPoint(t *testing.T) {
+	p := Point(3.5)
+	if !p.IsPoint() || p.Width() != 0 || !p.Contains(3.5) {
+		t.Fatalf("Point(3.5) = %v", p)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() {
+		t.Fatal("Empty() not empty")
+	}
+	if e.Width() != 0 {
+		t.Fatalf("empty Width = %v", e.Width())
+	}
+	if !math.IsNaN(e.Mid()) {
+		t.Fatalf("empty Mid = %v, want NaN", e.Mid())
+	}
+	if e.Contains(0) {
+		t.Fatal("empty interval contains 0")
+	}
+}
+
+func TestEntire(t *testing.T) {
+	ent := Entire()
+	if !ent.Contains(0) || !ent.Contains(math.MaxFloat64) || !ent.Contains(-math.MaxFloat64) {
+		t.Fatal("Entire does not contain reals")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"reversed": func() { MustNew(2, 1) },
+		"nan-lo":   func() { MustNew(math.NaN(), 1) },
+		"nan-hi":   func() { MustNew(0, math.NaN()) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestNewReversedIsEmpty(t *testing.T) {
+	if !New(2, 1).IsEmpty() {
+		t.Fatal("New(2,1) should be empty")
+	}
+}
+
+func TestContains(t *testing.T) {
+	iv := New(0, 10)
+	cases := []struct {
+		x    float64
+		want bool
+	}{
+		{0, true}, {10, true}, {5, true}, {-0.001, false}, {10.001, false},
+	}
+	for _, c := range cases {
+		if got := iv.Contains(c.x); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	big := New(0, 10)
+	if !big.ContainsInterval(New(2, 3)) {
+		t.Error("[0,10] should contain [2,3]")
+	}
+	if !big.ContainsInterval(big) {
+		t.Error("interval should contain itself")
+	}
+	if big.ContainsInterval(New(-1, 3)) {
+		t.Error("[0,10] should not contain [-1,3]")
+	}
+	if !big.ContainsInterval(Empty()) {
+		t.Error("every interval contains the empty interval")
+	}
+	if Empty().ContainsInterval(big) {
+		t.Error("empty interval contains nothing nonempty")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := New(0, 5)
+	b := New(3, 8)
+	got := a.Intersect(b)
+	if got.Lo != 3 || got.Hi != 5 {
+		t.Fatalf("Intersect = %v, want [3,5]", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("a and b should intersect")
+	}
+	c := New(6, 7)
+	if !a.Intersect(c).IsEmpty() || a.Intersects(c) {
+		t.Fatal("disjoint intervals reported intersecting")
+	}
+	// Touching endpoints intersect in a point — matters for the unsafe-set
+	// window test where a grazing pass is still a conflict.
+	d := New(5, 9)
+	if !a.Intersects(d) {
+		t.Fatal("touching intervals should intersect")
+	}
+}
+
+func TestHull(t *testing.T) {
+	got := New(0, 1).Hull(New(4, 5))
+	if got.Lo != 0 || got.Hi != 5 {
+		t.Fatalf("Hull = %v, want [0,5]", got)
+	}
+	if got := Empty().Hull(New(1, 2)); got.Lo != 1 || got.Hi != 2 {
+		t.Fatalf("Hull with empty = %v", got)
+	}
+	if got := New(1, 2).Hull(Empty()); got.Lo != 1 || got.Hi != 2 {
+		t.Fatalf("Hull with empty (rhs) = %v", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := New(1, 2)
+	b := New(-3, 4)
+	if got := a.Add(b); got.Lo != -2 || got.Hi != 6 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got.Lo != -3 || got.Hi != 5 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Neg(); got.Lo != -2 || got.Hi != -1 {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.AddScalar(10); got.Lo != 11 || got.Hi != 12 {
+		t.Errorf("AddScalar = %v", got)
+	}
+	if got := a.Scale(-2); got.Lo != -4 || got.Hi != -2 {
+		t.Errorf("Scale(-2) = %v", got)
+	}
+	if got := a.Scale(3); got.Lo != 3 || got.Hi != 6 {
+		t.Errorf("Scale(3) = %v", got)
+	}
+	if got := a.Mul(b); got.Lo != -6 || got.Hi != 8 {
+		t.Errorf("Mul = %v", got)
+	}
+}
+
+func TestEmptyPropagation(t *testing.T) {
+	e := Empty()
+	a := New(1, 2)
+	ops := map[string]Interval{
+		"Add":       a.Add(e),
+		"Sub":       e.Sub(a),
+		"Mul":       a.Mul(e),
+		"Intersect": a.Intersect(e),
+		"Neg":       e.Neg(),
+		"Scale":     e.Scale(2),
+		"AddScalar": e.AddScalar(1),
+	}
+	for name, got := range ops {
+		if !got.IsEmpty() {
+			t.Errorf("%s with empty operand = %v, want empty", name, got)
+		}
+	}
+}
+
+func TestExpand(t *testing.T) {
+	iv := New(1, 3).Expand(0.5)
+	if iv.Lo != 0.5 || iv.Hi != 3.5 {
+		t.Fatalf("Expand = %v", iv)
+	}
+	if got := New(1, 2).Expand(-1); !got.IsEmpty() {
+		t.Fatalf("over-shrunk interval should be empty, got %v", got)
+	}
+}
+
+func TestClampTo(t *testing.T) {
+	got := New(-5, 20).ClampTo(0, 12)
+	if got.Lo != 0 || got.Hi != 12 {
+		t.Fatalf("ClampTo = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	iv := New(0, 10)
+	if iv.Clamp(-1) != 0 || iv.Clamp(11) != 10 || iv.Clamp(5) != 5 {
+		t.Fatal("Clamp wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clamp on empty should panic")
+		}
+	}()
+	Empty().Clamp(0)
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 2).String(); got != "[1, 2]" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Empty().String(); got != "∅" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// genInterval builds a non-empty interval from two arbitrary floats, with
+// magnitudes bounded so that sums and products stay finite.
+func genInterval(a, b float64) Interval {
+	clean := func(x, def float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return def
+		}
+		return math.Mod(x, 1e6)
+	}
+	a = clean(a, 0)
+	b = clean(b, 1)
+	return New(math.Min(a, b), math.Max(a, b))
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		x, y := genInterval(a, b), genInterval(c, d)
+		return x.Add(y) == y.Add(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulCommutative(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		x, y := genInterval(a, b), genInterval(c, d)
+		return x.Mul(y) == y.Mul(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectSubset(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		x, y := genInterval(a, b), genInterval(c, d)
+		got := x.Intersect(y)
+		return x.ContainsInterval(got) && y.ContainsInterval(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHullSuperset(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		x, y := genInterval(a, b), genInterval(c, d)
+		h := x.Hull(y)
+		return h.ContainsInterval(x) && h.ContainsInterval(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Inclusion monotonicity is the property that makes interval computations
+// sound: evaluating on point inputs inside the operand intervals yields a
+// value inside the result interval.
+func TestQuickInclusionAdd(t *testing.T) {
+	f := func(a, b, c, d, s, u float64) bool {
+		x, y := genInterval(a, b), genInterval(c, d)
+		if math.IsNaN(s) || math.IsNaN(u) {
+			return true
+		}
+		px := x.Lo + math.Abs(math.Mod(s, 1))*(x.Hi-x.Lo)
+		py := y.Lo + math.Abs(math.Mod(u, 1))*(y.Hi-y.Lo)
+		if math.IsNaN(px) || math.IsNaN(py) || math.IsInf(px, 0) || math.IsInf(py, 0) {
+			return true
+		}
+		sum := x.Add(y)
+		// Allow a little float slack at the boundary.
+		return sum.Expand(1e-9 * (1 + math.Abs(px+py))).Contains(px + py)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNegInvolution(t *testing.T) {
+	f := func(a, b float64) bool {
+		x := genInterval(a, b)
+		return x.Neg().Neg() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"safeplan/internal/dynamics"
+	"safeplan/internal/interval"
+	"safeplan/internal/leftturn"
+)
+
+func newMonitor() Monitor { return New(leftturn.DefaultConfig()) }
+
+func TestFarStateHandsToNN(t *testing.T) {
+	m := newMonitor()
+	out := m.Assess(dynamics.State{P: -30, V: 8}, interval.New(3, math.Inf(1)))
+	if out.Emergency || out.HasFloor || out.HasCeil {
+		t.Fatalf("far state verdict = %+v", out)
+	}
+}
+
+func TestBoundaryTriggersEmergency(t *testing.T) {
+	m := newMonitor()
+	c := m.Cfg
+	v := 8.0
+	// Slack in the middle of the widened band, overlapping window.
+	p := c.Geometry.PF - c.BrakingDistance(v) - c.BoundaryThreshold(v)/2
+	ego := dynamics.State{P: p, V: v}
+	out := m.Assess(ego, interval.New(0, math.Inf(1)))
+	if !out.Emergency || out.Reason != "boundary" {
+		t.Fatalf("boundary verdict = %+v", out)
+	}
+}
+
+func TestDisjointWindowSkipsBoundary(t *testing.T) {
+	m := newMonitor()
+	c := m.Cfg
+	v := 8.0
+	p := c.Geometry.PF - c.BrakingDistance(v) - c.BoundaryThreshold(v)/2
+	ego := dynamics.State{P: p, V: v}
+	// Oncoming window far in the future (beyond inflation): pass-before is
+	// sanctioned, no emergency, but a commitment check happens only once
+	// slack < 0 — here slack ≥ 0, so κ_n runs unconstrained.
+	out := m.Assess(ego, interval.New(100, 200))
+	if out.Emergency {
+		t.Fatalf("disjoint boundary verdict = %+v", out)
+	}
+}
+
+func TestUnsafeTriggersEmergency(t *testing.T) {
+	m := newMonitor()
+	// Committed, overlapping windows.
+	ego := dynamics.State{P: 0, V: 11}
+	egoW := m.Cfg.EgoWindow(ego)
+	out := m.Assess(ego, egoW)
+	if !out.Emergency || out.Reason != "unsafe" {
+		t.Fatalf("unsafe verdict = %+v", out)
+	}
+}
+
+func TestCommittedPassBeforeGetsFloor(t *testing.T) {
+	m := newMonitor()
+	// Fast ego, committed (negative slack), oncoming arrival well after the
+	// ego's exit window: floor keeps the commitment.
+	ego := dynamics.State{P: 0, V: 12}
+	if m.Cfg.Slack(ego) >= 0 {
+		t.Fatal("setup: expected committed state")
+	}
+	out := m.Assess(ego, interval.New(5, math.Inf(1)))
+	if out.Emergency {
+		t.Fatalf("pass-before commit escalated: %+v", out)
+	}
+	if !out.HasFloor {
+		t.Fatalf("expected floor: %+v", out)
+	}
+	// The floor must be admissible and applying it keeps clearing feasible.
+	if out.Floor < m.Cfg.Ego.AMin-1e-9 || out.Floor > m.Cfg.Ego.AMax+1e-9 {
+		t.Fatalf("floor %v outside envelope", out.Floor)
+	}
+	if a := out.Apply(m.Cfg.Ego.AMin); a < out.Floor {
+		t.Fatal("Apply did not clamp to floor")
+	}
+}
+
+func TestCommittedPassAfterGetsCeil(t *testing.T) {
+	m := newMonitor()
+	// Committed ego crawling toward the line; oncoming vehicle surely gone
+	// before the ego arrives at current speed... construct: ego at p=4,
+	// v=5: slack = 5−25/12−4 < 0 committed; ego window = [0.2, 2.2];
+	// oncoming window [0, 0.1] (about to leave).
+	ego := dynamics.State{P: 2, V: 8} // slack = 3 − 64/12 < 0, window [0.375, 1.625]
+	if m.Cfg.Slack(ego) >= 0 {
+		t.Fatal("setup: expected committed state")
+	}
+	out := m.Assess(ego, interval.New(0, 0.1)) // gap to ego window exceeds the inflation
+	if out.Emergency {
+		t.Fatalf("pass-after commit escalated: %+v", out)
+	}
+	if !out.HasCeil {
+		t.Fatalf("expected ceiling: %+v", out)
+	}
+	if a := out.Apply(m.Cfg.Ego.AMax); a > out.Ceil {
+		t.Fatal("Apply did not clamp to ceiling")
+	}
+}
+
+func TestInfeasibleCommitEscalates(t *testing.T) {
+	m := newMonitor()
+	// Committed but cannot clear before an (almost) immediate arrival and
+	// cannot delay past it either — yet windows don't overlap because the
+	// ego window starts after the oncoming window ends... hard to reach
+	// geometrically; instead test the pass-before infeasibility: slow
+	// committed ego with the oncoming car arriving soon after the ego
+	// window ends.
+	ego := dynamics.State{P: 4.9, V: 1} // slack = 0.1 − 1/12 − ... ≈ 0.017 ≥ 0? compute below
+	if m.Cfg.Slack(ego) >= 0 {
+		// Make it committed.
+		ego.V = 3 // db = 0.75 > gap 0.1 → slack < 0
+	}
+	if m.Cfg.Slack(ego) >= 0 {
+		t.Fatal("setup: expected committed state")
+	}
+	egoW := m.Cfg.EgoWindow(ego)
+	// Oncoming arrives just after the ego window ends but before the ego
+	// could clear even flat out (window very tight).
+	w := interval.New(egoW.Hi+0.3, egoW.Hi+0.4)
+	out := m.Assess(ego, w)
+	// Whatever branch fires, the monitor must not hand unconstrained
+	// control to κ_n here.
+	if !out.Emergency && !out.HasFloor && !out.HasCeil {
+		t.Fatalf("marginal commit left unconstrained: %+v", out)
+	}
+}
+
+func TestHoldAtLine(t *testing.T) {
+	m := newMonitor()
+	c := m.Cfg
+	// Stopped just before the line with the oncoming car arriving sooner
+	// than a flat-out start could clear.
+	ego := dynamics.State{P: c.Geometry.PF - 0.2, V: 0}
+	out := m.Assess(ego, interval.New(1, math.Inf(1)))
+	if !out.Emergency || out.Reason != "hold" {
+		t.Fatalf("hold verdict = %+v", out)
+	}
+	// Released when the conflict is comfortably far away.
+	out = m.Assess(ego, interval.New(30, math.Inf(1)))
+	if out.Emergency {
+		t.Fatalf("far conflict should release the hold: %+v", out)
+	}
+	// No hold when stopped far from the line.
+	ego = dynamics.State{P: c.Geometry.PF - 3, V: 0}
+	out = m.Assess(ego, interval.New(1, math.Inf(1)))
+	if out.Emergency {
+		t.Fatalf("hold fired far from the line: %+v", out)
+	}
+	// No hold while moving.
+	ego = dynamics.State{P: c.Geometry.PF - 0.2, V: 2}
+	out = m.Assess(ego, interval.New(1, math.Inf(1)))
+	if out.Emergency && out.Reason == "hold" {
+		t.Fatal("hold fired while moving")
+	}
+}
+
+func TestEmptyWindowNeverEmergency(t *testing.T) {
+	m := newMonitor()
+	for _, ego := range []dynamics.State{
+		{P: -30, V: 8}, {P: 0, V: 12}, {P: 4.9, V: 0}, {P: 10, V: 3},
+	} {
+		out := m.Assess(ego, interval.Empty())
+		if out.Emergency {
+			t.Fatalf("empty window escalated for %+v: %+v", ego, out)
+		}
+	}
+}
+
+func TestWindowInflationConfigurable(t *testing.T) {
+	cfg := leftturn.DefaultConfig()
+	mDefault := Monitor{Cfg: cfg}
+	mOff := Monitor{Cfg: cfg, WindowInflation: -1}
+	// A committed state whose ego window misses the oncoming window by
+	// less than the default inflation.
+	ego := dynamics.State{P: 0, V: 11}
+	egoW := cfg.EgoWindow(ego)
+	w := interval.New(egoW.Hi+DefaultWindowInflation/2, egoW.Hi+10)
+	od := mDefault.Assess(ego, w)
+	oo := mOff.Assess(ego, w)
+	if !od.Emergency {
+		t.Fatalf("inflated monitor should escalate: %+v", od)
+	}
+	if oo.Emergency {
+		t.Fatalf("uninflated monitor should use the commit guard instead: %+v", oo)
+	}
+}
+
+func TestOutcomeApplyNoGuards(t *testing.T) {
+	var o Outcome
+	if o.Apply(1.23) != 1.23 {
+		t.Fatal("unconstrained Apply changed the value")
+	}
+}
+
+// Property: the full compound policy induced by the monitor — κ_e on
+// emergency, a worst-case κ_n clamped by the guards otherwise — never
+// collides against any admissible oncoming behaviour when the oncoming
+// window is computed from exact knowledge.  This is the heart of the
+// paper's safety theorem, checked end to end at the monitor level with an
+// adversarially reckless κ_n (always AMax).
+func TestQuickMonitorSafetyWithRecklessNN(t *testing.T) {
+	c := leftturn.DefaultConfig()
+	m := New(c)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ego := c.EgoInit
+		onc := dynamics.State{P: -40 + rng.Float64()*9.5, V: 5 + rng.Float64()*10}
+		var oncA float64
+		for i := 0; i < 800; i++ {
+			w := c.ConservativeWindow(leftturn.ExactEstimate(onc, oncA))
+			out := m.Assess(ego, w)
+			var a float64
+			if out.Emergency {
+				a = c.EmergencyAccel(ego)
+			} else {
+				a = out.Apply(c.Ego.AMax) // reckless κ_n
+			}
+			ego, _ = dynamics.Step(ego, a, c.DtC, c.Ego)
+			ba := -3 + rng.Float64()*5.5
+			onc, oncA = dynamics.Step(onc, ba, c.DtC, c.Oncoming)
+			if c.Collision(ego, onc) {
+				return false
+			}
+			if c.ReachedTarget(ego) {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a pathological braking κ_n (always AMin), the monitor's
+// commitment floor must still prevent collisions.
+func TestQuickMonitorSafetyWithBrakingNN(t *testing.T) {
+	c := leftturn.DefaultConfig()
+	m := New(c)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ego := c.EgoInit
+		onc := dynamics.State{P: -40 + rng.Float64()*9.5, V: 5 + rng.Float64()*10}
+		var oncA float64
+		for i := 0; i < 800; i++ {
+			w := c.ConservativeWindow(leftturn.ExactEstimate(onc, oncA))
+			out := m.Assess(ego, w)
+			var a float64
+			if out.Emergency {
+				a = c.EmergencyAccel(ego)
+			} else {
+				a = out.Apply(c.Ego.AMin) // pathological κ_n
+			}
+			ego, _ = dynamics.Step(ego, a, c.DtC, c.Ego)
+			ba := -3 + rng.Float64()*5.5
+			onc, oncA = dynamics.Step(onc, ba, c.DtC, c.Oncoming)
+			if c.Collision(ego, onc) {
+				return false
+			}
+			if c.ReachedTarget(ego) {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

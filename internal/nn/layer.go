@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"safeplan/internal/mat"
+)
+
+// Dense is a fully connected layer: y = act(x·Wᵀ + b) with W of shape
+// (out × in) and b of length out.
+type Dense struct {
+	In, Out int
+	W       *mat.Dense // out × in
+	B       []float64  // out
+	Act     Activation
+
+	// Forward caches (batch mode), reused by Backward.
+	x    *mat.Dense // input (n × in)
+	z    *mat.Dense // pre-activation (n × out)
+	aOut *mat.Dense // activation output (n × out)
+
+	// Gradients accumulated by Backward.
+	GradW *mat.Dense
+	GradB []float64
+}
+
+// NewDense constructs a layer with Glorot-uniform initialized weights and
+// zero biases, drawing from rng for determinism.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid layer shape %d→%d", in, out))
+	}
+	if act == nil {
+		panic("nn: nil activation")
+	}
+	l := &Dense{
+		In:    in,
+		Out:   out,
+		W:     mat.NewDense(out, in),
+		B:     make([]float64, out),
+		Act:   act,
+		GradW: mat.NewDense(out, in),
+		GradB: make([]float64, out),
+	}
+	scale := math.Sqrt(6.0 / float64(in+out))
+	l.W.Randomize(rng, scale)
+	return l
+}
+
+// Forward computes the layer output for a batch x (n × in), caching the
+// values Backward needs.
+func (l *Dense) Forward(x *mat.Dense) *mat.Dense {
+	n := x.Rows()
+	if x.Cols() != l.In {
+		panic(fmt.Sprintf("nn: layer expects %d inputs, got %d", l.In, x.Cols()))
+	}
+	l.x = x
+	if l.z == nil || l.z.Rows() != n {
+		l.z = mat.NewDense(n, l.Out)
+		l.aOut = mat.NewDense(n, l.Out)
+	}
+	mat.MulBTransInto(l.z, x, l.W) // z = x·Wᵀ
+	for i := 0; i < n; i++ {
+		zr := l.z.Row(i)
+		ar := l.aOut.Row(i)
+		for j := 0; j < l.Out; j++ {
+			zr[j] += l.B[j]
+			ar[j] = l.Act.Apply(zr[j])
+		}
+	}
+	return l.aOut
+}
+
+// Backward consumes dL/dOut (n × out) and returns dL/dIn (n × in),
+// accumulating dL/dW and dL/dB (averaged over the batch) into GradW/GradB.
+func (l *Dense) Backward(dOut *mat.Dense) *mat.Dense {
+	n := dOut.Rows()
+	if l.x == nil || n != l.x.Rows() || dOut.Cols() != l.Out {
+		panic("nn: Backward without matching Forward")
+	}
+	// dZ = dOut ⊙ act'(z), computed in place on a scratch copy.
+	dZ := mat.NewDense(n, l.Out)
+	for i := 0; i < n; i++ {
+		zr := l.z.Row(i)
+		dr := dOut.Row(i)
+		dzr := dZ.Row(i)
+		for j := 0; j < l.Out; j++ {
+			dzr[j] = dr[j] * l.Act.Derivative(zr[j])
+		}
+	}
+	// GradW = dZᵀ·x / n ; GradB = column-mean of dZ.
+	mat.MulTransInto(l.GradW, dZ, l.x)
+	l.GradW.ScaleInPlace(1 / float64(n))
+	for j := 0; j < l.Out; j++ {
+		l.GradB[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		dzr := dZ.Row(i)
+		for j := 0; j < l.Out; j++ {
+			l.GradB[j] += dzr[j]
+		}
+	}
+	for j := 0; j < l.Out; j++ {
+		l.GradB[j] /= float64(n)
+	}
+	// dIn = dZ·W.
+	dIn := mat.NewDense(n, l.In)
+	mat.MulInto(dIn, dZ, l.W)
+	return dIn
+}
+
+// Params returns the parameter and gradient tensors in a stable order,
+// flattening biases into 1×out matrices for the optimizer.
+func (l *Dense) params() []param {
+	return []param{
+		{w: l.W.Data(), g: l.GradW.Data()},
+		{w: l.B, g: l.GradB},
+	}
+}
+
+// param pairs a parameter vector with its gradient.
+type param struct {
+	w, g []float64
+}

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"safeplan/internal/mat"
+)
+
+// Network is a feed-forward multilayer perceptron for regression.
+type Network struct {
+	Layers []*Dense
+}
+
+// NewMLP builds a network with the given layer sizes, e.g.
+// NewMLP(rng, act, 5, 32, 32, 1) for a 5-input, 1-output net with two
+// 32-unit hidden layers using act; the output layer is linear (Identity).
+func NewMLP(rng *rand.Rand, hiddenAct Activation, sizes ...int) *Network {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	n := &Network{}
+	for i := 0; i < len(sizes)-1; i++ {
+		act := hiddenAct
+		if i == len(sizes)-2 {
+			act = Identity{}
+		}
+		n.Layers = append(n.Layers, NewDense(sizes[i], sizes[i+1], act, rng))
+	}
+	return n
+}
+
+// InputDim returns the expected input width.
+func (n *Network) InputDim() int { return n.Layers[0].In }
+
+// OutputDim returns the output width.
+func (n *Network) OutputDim() int { return n.Layers[len(n.Layers)-1].Out }
+
+// ForwardBatch runs a batch (rows are samples) through the network.
+// The returned matrix is owned by the network and overwritten by the next
+// call; clone it if it must persist.
+func (n *Network) ForwardBatch(x *mat.Dense) *mat.Dense {
+	out := x
+	for _, l := range n.Layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// Predict evaluates the network on a single input vector.
+func (n *Network) Predict(in []float64) []float64 {
+	if len(in) != n.InputDim() {
+		panic(fmt.Sprintf("nn: Predict expects %d inputs, got %d", n.InputDim(), len(in)))
+	}
+	x := mat.NewDense(1, len(in))
+	copy(x.Row(0), in)
+	out := n.ForwardBatch(x)
+	res := make([]float64, out.Cols())
+	copy(res, out.Row(0))
+	return res
+}
+
+// Predict1 evaluates a single-output network on one input vector.
+func (n *Network) Predict1(in []float64) float64 {
+	out := n.Predict(in)
+	if len(out) != 1 {
+		panic("nn: Predict1 on multi-output network")
+	}
+	return out[0]
+}
+
+// MSE computes the mean-squared error of predictions pred against targets y
+// (same shape), averaged over all entries.
+func MSE(pred, y *mat.Dense) float64 {
+	if pred.Rows() != y.Rows() || pred.Cols() != y.Cols() {
+		panic("nn: MSE shape mismatch")
+	}
+	var s float64
+	pd, yd := pred.Data(), y.Data()
+	for i := range pd {
+		d := pd[i] - yd[i]
+		s += d * d
+	}
+	return s / float64(len(pd))
+}
+
+// TrainBatch performs one gradient step on the batch (x, y) under MSE loss
+// using opt, and returns the pre-step loss.
+func (n *Network) TrainBatch(x, y *mat.Dense, opt Optimizer) float64 {
+	pred := n.ForwardBatch(x)
+	loss := MSE(pred, y)
+	// dL/dPred for MSE (mean over all N·K entries): 2(pred−y)/(N·K); the
+	// per-layer batch averaging uses N, so scale by 2/K here.
+	rows, cols := pred.Rows(), pred.Cols()
+	dOut := mat.NewDense(rows, cols)
+	scale := 2 / float64(cols)
+	for i := 0; i < rows; i++ {
+		pr, yr, dr := pred.Row(i), y.Row(i), dOut.Row(i)
+		for j := 0; j < cols; j++ {
+			dr[j] = scale * (pr[j] - yr[j])
+		}
+	}
+	d := dOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		d = n.Layers[i].Backward(d)
+	}
+	opt.Step(n)
+	return loss
+}
+
+// Clone returns a deep copy of the network (weights only; caches and
+// gradients start fresh).
+func (n *Network) Clone() *Network {
+	out := &Network{}
+	for _, l := range n.Layers {
+		nl := &Dense{
+			In:    l.In,
+			Out:   l.Out,
+			W:     l.W.Clone(),
+			B:     append([]float64(nil), l.B...),
+			Act:   l.Act,
+			GradW: mat.NewDense(l.Out, l.In),
+			GradB: make([]float64, l.Out),
+		}
+		out.Layers = append(out.Layers, nl)
+	}
+	return out
+}
+
+// NumParams returns the total number of trainable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.In*l.Out + l.Out
+	}
+	return total
+}
+
+// params collects every (parameter, gradient) pair in a stable order.
+func (n *Network) params() []param {
+	var ps []param
+	for _, l := range n.Layers {
+		ps = append(ps, l.params()...)
+	}
+	return ps
+}

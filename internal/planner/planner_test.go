@@ -1,0 +1,162 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"safeplan/internal/dynamics"
+	"safeplan/internal/interval"
+	"safeplan/internal/leftturn"
+)
+
+func scenario() leftturn.Config { return leftturn.DefaultConfig() }
+
+func TestExpertGoesWhenNoConflict(t *testing.T) {
+	c := scenario()
+	e := ConservativeExpert(c)
+	ego := dynamics.State{P: -30, V: 8}
+	if got := e.Accel(0, ego, interval.Empty()); got != c.Ego.AMax {
+		t.Fatalf("no-conflict accel = %v, want AMax", got)
+	}
+}
+
+func TestExpertGoesWithHugeMargin(t *testing.T) {
+	c := scenario()
+	e := ConservativeExpert(c)
+	ego := dynamics.State{P: -30, V: 8}
+	// Oncoming car a minute away: commit.
+	if got := e.Accel(0, ego, interval.New(60, 70)); got != c.Ego.AMax {
+		t.Fatalf("huge-margin accel = %v, want AMax", got)
+	}
+}
+
+func TestExpertYieldsWhenWindowImminent(t *testing.T) {
+	c := scenario()
+	e := ConservativeExpert(c)
+	ego := dynamics.State{P: -30, V: 8}
+	// Oncoming car arriving about when we would: yield (decelerate or at
+	// least not full throttle).
+	got := e.Accel(0, ego, interval.New(3, math.Inf(1)))
+	if got >= c.Ego.AMax {
+		t.Fatalf("imminent-conflict accel = %v, want < AMax", got)
+	}
+}
+
+func TestExpertEscapesInsideZone(t *testing.T) {
+	c := scenario()
+	e := ConservativeExpert(c)
+	ego := dynamics.State{P: 10, V: 3}
+	if got := e.Accel(0, ego, interval.New(0, 10)); got != c.Ego.AMax {
+		t.Fatalf("in-zone accel = %v, want AMax", got)
+	}
+}
+
+func TestExpertHardStopsNearLine(t *testing.T) {
+	c := scenario()
+	e := ConservativeExpert(c)
+	// Fast and close with a conflict: must brake hard.
+	ego := dynamics.State{P: 0, V: 9}
+	got := e.Accel(0, ego, interval.New(0.4, 5))
+	if got > -3 {
+		t.Fatalf("near-line conflict accel = %v, want strong braking", got)
+	}
+}
+
+func TestAggressiveCommitsEarlierThanConservative(t *testing.T) {
+	c := scenario()
+	cons := ConservativeExpert(c)
+	aggr := AggressiveExpert(c)
+	ego := dynamics.State{P: -30, V: 8}
+	// A window whose opening is between the two GoMargins.
+	clear := dynamics.TimeToReach(c.Geometry.PB-ego.P, ego.V, c.Ego.AMax, c.Ego.VMax)
+	w := interval.New(clear-0.5, math.Inf(1)) // opens 0.5 s before flat-out clearing
+	if got := aggr.Accel(0, ego, w); got != c.Ego.AMax {
+		t.Fatalf("aggressive should commit, got %v", got)
+	}
+	if got := cons.Accel(0, ego, w); got >= c.Ego.AMax {
+		t.Fatalf("conservative should yield, got %v", got)
+	}
+}
+
+func TestConservativeExpertIsSafeStandalone(t *testing.T) {
+	// Drive the conservative expert closed-loop against a worst-case
+	// oncoming vehicle with perfect information; it must never enter the
+	// zone while the other car is inside.
+	c := scenario()
+	e := ConservativeExpert(c)
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ego := c.EgoInit
+		onc := dynamics.State{P: -40 + rng.Float64()*9.5, V: 7 + rng.Float64()*8}
+		var oncA float64
+		for i := 0; i < 600; i++ {
+			tt := float64(i) * c.DtC
+			w := c.ConservativeWindow(leftturn.ExactEstimate(onc, oncA))
+			a := e.Accel(tt, ego, w)
+			ego, _ = dynamics.Step(ego, a, c.DtC, c.Ego)
+			// Random admissible oncoming behaviour.
+			ba := -3 + rng.Float64()*5.5
+			onc, oncA = dynamics.Step(onc, ba, c.DtC, c.Oncoming)
+			if c.Collision(ego, onc) {
+				t.Fatalf("seed %d: conservative expert collided at t=%.2f", seed, tt)
+			}
+			if c.ReachedTarget(ego) {
+				break
+			}
+		}
+	}
+}
+
+func TestEmergencyPlannerWrapper(t *testing.T) {
+	c := scenario()
+	e := Emergency{Cfg: c}
+	if e.Name() != "emergency" {
+		t.Fatal("name wrong")
+	}
+	ego := dynamics.State{P: -15, V: 8}
+	if got, want := e.Accel(0, ego, interval.Empty()), c.EmergencyAccel(ego); got != want {
+		t.Fatalf("wrapper accel %v != κ_e %v", got, want)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	f := Func{PlannerName: "const", F: func(float64, dynamics.State, interval.Interval) float64 { return 1.5 }}
+	if f.Name() != "const" {
+		t.Fatal("name wrong")
+	}
+	if got := f.Accel(0, dynamics.State{}, interval.Empty()); got != 1.5 {
+		t.Fatalf("accel = %v", got)
+	}
+}
+
+// Property: expert output is always within the ego envelope.
+func TestQuickExpertOutputAdmissible(t *testing.T) {
+	c := scenario()
+	experts := []*Expert{ConservativeExpert(c), AggressiveExpert(c)}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ego := dynamics.State{P: -45 + rng.Float64()*65, V: rng.Float64() * c.Ego.VMax}
+		var w interval.Interval
+		switch rng.Intn(3) {
+		case 0:
+			w = interval.Empty()
+		case 1:
+			lo := rng.Float64() * 10
+			w = interval.New(lo, lo+rng.Float64()*10)
+		default:
+			w = interval.New(rng.Float64()*10, math.Inf(1))
+		}
+		for _, e := range experts {
+			a := e.Accel(rng.Float64()*10, ego, w)
+			if a < c.Ego.AMin-1e-9 || a > c.Ego.AMax+1e-9 || math.IsNaN(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"safeplan/internal/dynamics"
+	"safeplan/internal/interval"
+	"safeplan/internal/leftturn"
+	"safeplan/internal/mat"
+	"safeplan/internal/nn"
+	"safeplan/internal/traffic"
+)
+
+// TrainOptions drives imitation learning of an NN planner from an expert.
+type TrainOptions struct {
+	Hidden      []int                 // hidden layer widths; nil selects {32, 32}
+	Samples     int                   // dataset size; 0 selects 20000
+	RolloutFrac float64               // fraction of samples drawn from closed-loop rollouts (default 0.6)
+	Epochs      int                   // training epochs; 0 selects 40
+	BatchSize   int                   // minibatch size; 0 selects 64
+	LR          float64               // Adam learning rate; 0 selects 3e-3
+	Seed        int64                 // master seed (weights, rollouts, shuffling)
+	Driver      *traffic.DriverConfig // oncoming behaviour for rollouts; nil selects default
+}
+
+func (o *TrainOptions) fill() {
+	if len(o.Hidden) == 0 {
+		o.Hidden = []int{32, 32}
+	}
+	if o.Samples <= 0 {
+		o.Samples = 20000
+	}
+	if o.RolloutFrac <= 0 || o.RolloutFrac > 1 {
+		o.RolloutFrac = 0.6
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 40
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.LR <= 0 {
+		o.LR = 3e-3
+	}
+	if o.Driver == nil {
+		d := traffic.DefaultDriverConfig()
+		o.Driver = &d
+	}
+}
+
+// BuildImitationDataset samples planner-visible states — a mixture of
+// closed-loop expert rollouts (the realistic state manifold) and uniform
+// random feature draws (coverage) — and labels each with the expert's
+// decision.  The feature layout matches leftturn.Features.
+func BuildImitationDataset(cfg leftturn.Config, expert Planner, opts TrainOptions) (*nn.Dataset, error) {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	x := mat.NewDense(opts.Samples, 5)
+	y := mat.NewDense(opts.Samples, 1)
+	i := 0
+	add := func(t float64, ego dynamics.State, w interval.Interval) bool {
+		if i >= opts.Samples {
+			return false
+		}
+		copy(x.Row(i), leftturn.Features(t, ego, w))
+		y.Set(i, 0, expert.Accel(t, ego, w))
+		i++
+		return true
+	}
+
+	// Closed-loop rollouts under the expert.
+	rolloutBudget := int(float64(opts.Samples) * opts.RolloutFrac)
+	for i < rolloutBudget {
+		if err := rolloutOnce(cfg, expert, *opts.Driver, rng, add); err != nil {
+			return nil, err
+		}
+	}
+	// Uniform coverage of the feature space.
+	for i < opts.Samples {
+		ego := dynamics.State{
+			P: -45 + rng.Float64()*65,
+			V: rng.Float64() * cfg.Ego.VMax,
+		}
+		t := rng.Float64() * 15
+		var w interval.Interval
+		switch r := rng.Float64(); {
+		case r < 0.15:
+			w = interval.Empty()
+		case r < 0.45:
+			lo := rng.Float64() * 15
+			w = interval.New(lo, math.Inf(1))
+		default:
+			lo := rng.Float64() * 15
+			w = interval.New(lo, lo+rng.Float64()*12)
+		}
+		add(t, ego, w)
+	}
+	return nn.NewDataset(x, y)
+}
+
+// rolloutOnce simulates one expert-controlled episode, feeding every step's
+// (features, label) pair to add.  The oncoming window is the conservative
+// estimate over the exact oncoming state, matching what the planner sees at
+// runtime when communication is perfect.
+func rolloutOnce(cfg leftturn.Config, expert Planner,
+	dc traffic.DriverConfig, rng *rand.Rand, add func(float64, dynamics.State, interval.Interval) bool) error {
+	driver, err := traffic.NewDriver(dc, rng)
+	if err != nil {
+		return err
+	}
+	ego := cfg.EgoInit
+	onc := cfg.OncomingInit
+	onc.P -= rng.Float64() * 9.5 // the paper's initial-position sweep
+	onc.V = 5 + rng.Float64()*7
+	var oncA float64
+	const horizon = 30.0
+	for t := 0.0; t < horizon; t += cfg.DtC {
+		est := leftturn.ExactEstimate(onc, oncA)
+		w := cfg.ConservativeWindow(est)
+		if !add(t, ego, w) {
+			return nil
+		}
+		a := expert.Accel(t, ego, w)
+		ego, _ = dynamics.Step(ego, a, cfg.DtC, cfg.Ego)
+		oncA = driver.Accel(t, onc)
+		onc, oncA = stepOncoming(onc, oncA, cfg)
+		if cfg.ReachedTarget(ego) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func stepOncoming(s dynamics.State, a float64, cfg leftturn.Config) (dynamics.State, float64) {
+	next, applied := dynamics.Step(s, a, cfg.DtC, cfg.Oncoming)
+	return next, applied
+}
+
+// TrainNNPlanner imitates the expert with a freshly initialized MLP and
+// returns the resulting NN planner together with its final training loss.
+func TrainNNPlanner(cfg leftturn.Config, expert Planner, label string, opts TrainOptions) (*NNPlanner, float64, error) {
+	opts.fill()
+	ds, err := BuildImitationDataset(cfg, expert, opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("planner: build dataset: %w", err)
+	}
+	norm := nn.FitNormalizer(ds.X)
+	norm.ApplyMatrix(ds.X)
+
+	sizes := append([]int{5}, opts.Hidden...)
+	sizes = append(sizes, 1)
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	net := nn.NewMLP(rng, nn.Tanh{}, sizes...)
+	loss := net.Fit(ds, &nn.Adam{LR: opts.LR}, nn.TrainConfig{
+		Epochs:    opts.Epochs,
+		BatchSize: opts.BatchSize,
+		Seed:      opts.Seed + 2,
+	})
+	return &NNPlanner{Label: label, Net: net, Norm: norm, Limits: cfg.Ego}, loss, nil
+}

@@ -1,0 +1,158 @@
+package planner
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"safeplan/internal/dynamics"
+	"safeplan/internal/interval"
+)
+
+// quickOpts keeps training fast in unit tests.
+func quickOpts(seed int64) TrainOptions {
+	return TrainOptions{
+		Hidden:    []int{32, 32},
+		Samples:   10000,
+		Epochs:    40,
+		BatchSize: 64,
+		Seed:      seed,
+	}
+}
+
+func TestBuildImitationDataset(t *testing.T) {
+	c := scenario()
+	ds, err := BuildImitationDataset(c, ConservativeExpert(c), quickOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 10000 {
+		t.Fatalf("dataset size = %d", ds.Len())
+	}
+	if ds.X.Cols() != 5 || ds.Y.Cols() != 1 {
+		t.Fatalf("feature/label shape %d/%d", ds.X.Cols(), ds.Y.Cols())
+	}
+	// Labels must be admissible accelerations.
+	for i := 0; i < ds.Len(); i++ {
+		a := ds.Y.At(i, 0)
+		if a < c.Ego.AMin-1e-9 || a > c.Ego.AMax+1e-9 {
+			t.Fatalf("label %v outside envelope", a)
+		}
+	}
+	// The dataset must contain both committed (AMax) and yielding samples.
+	var nGo, nYield int
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Y.At(i, 0) >= c.Ego.AMax-1e-9 {
+			nGo++
+		} else {
+			nYield++
+		}
+	}
+	if nGo == 0 || nYield == 0 {
+		t.Fatalf("dataset lacks decision diversity: go=%d yield=%d", nGo, nYield)
+	}
+}
+
+func TestTrainNNPlannerImitatesExpert(t *testing.T) {
+	c := scenario()
+	expert := ConservativeExpert(c)
+	nnp, loss, err := TrainNNPlanner(c, expert, "nn-cons", quickOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expert policy is discontinuous at the go/yield switch, so the MSE
+	// floor is dominated by boundary samples; what matters behaviourally is
+	// the decision agreement below.
+	if loss > 0.8 {
+		t.Fatalf("imitation loss %v too high", loss)
+	}
+	// The NN must agree with the expert's go/yield decision on most states
+	// from a held-out draw of the training distribution.
+	held, err := BuildImitationDataset(c, expert, quickOpts(102))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, total := 0, 0
+	for i := 0; i < held.Len(); i += 7 {
+		f := held.X.Row(i)
+		ego := dynamics.State{P: f[1], V: f[2]}
+		w := interval.New(f[3], f[4])
+		ea := held.Y.At(i, 0)
+		na := nnp.Accel(f[0], ego, w)
+		if (ea >= c.Ego.AMax-0.5) == (na >= c.Ego.AMax-0.5) {
+			agree++
+		}
+		total++
+	}
+	if frac := float64(agree) / float64(total); frac < 0.85 {
+		t.Fatalf("go/yield agreement %.2f too low (n=%d)", frac, total)
+	}
+}
+
+func TestNNPlannerOutputClamped(t *testing.T) {
+	c := scenario()
+	nnp, _, err := TrainNNPlanner(c, AggressiveExpert(c), "nn-aggr", quickOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		ego := dynamics.State{P: -45 + float64(i)*0.15, V: float64(i % 13)}
+		a := nnp.Accel(float64(i)*0.03, ego, interval.New(1, 5))
+		if a < c.Ego.AMin || a > c.Ego.AMax || math.IsNaN(a) {
+			t.Fatalf("NN output %v outside envelope", a)
+		}
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	c := scenario()
+	opts := quickOpts(4)
+	opts.Samples = 2000
+	opts.Epochs = 5
+	a, _, err := TrainNNPlanner(c, ConservativeExpert(c), "a", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := TrainNNPlanner(c, ConservativeExpert(c), "b", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ego := dynamics.State{P: -20, V: 7}
+	w := interval.New(2, 8)
+	if a.Accel(1, ego, w) != b.Accel(1, ego, w) {
+		t.Fatal("training not deterministic for equal seeds")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := scenario()
+	opts := quickOpts(5)
+	opts.Samples = 2000
+	opts.Epochs = 5
+	nnp, _, err := TrainNNPlanner(c, ConservativeExpert(c), "nn", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := nnp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNNPlanner(path, "nn-loaded", c.Ego)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name() != "nn-loaded" {
+		t.Fatal("label not applied")
+	}
+	ego := dynamics.State{P: -15, V: 6}
+	w := interval.New(1.5, 7)
+	if got, want := loaded.Accel(2, ego, w), nnp.Accel(2, ego, w); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("round trip changed prediction: %v vs %v", got, want)
+	}
+}
+
+func TestLoadRejectsMissingFile(t *testing.T) {
+	if _, err := LoadNNPlanner(filepath.Join(t.TempDir(), "nope.json"), "x", scenario().Ego); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

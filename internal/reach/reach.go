@@ -1,0 +1,106 @@
+// Package reach implements the reachability analysis of paper Eq. 2: given
+// the latest (possibly delayed) V2V message recording another vehicle's
+// state at time t_k, it bounds where that vehicle can be now.
+//
+// The bounds assume only the vehicle's physical envelope (velocity in
+// [VMin, VMax], acceleration in [AMin, AMax]) and are therefore *sound*:
+// the true state is guaranteed to lie inside the returned intervals.  The
+// paper's Eq. 2 is the AMax branch of the position bound, including the
+// velocity-saturation correction; the package generalizes it to both
+// directions and to velocity bounds.
+package reach
+
+import (
+	"safeplan/internal/dynamics"
+	"safeplan/internal/interval"
+)
+
+// Snapshot is a known exact state of a vehicle at time T — the content of a
+// V2V message (paper §II-A: message values are accurate, only late).
+type Snapshot struct {
+	T float64        // timestamp the state refers to [s]
+	S dynamics.State // exact position and velocity at T
+}
+
+// Set is an interval over-approximation of a vehicle's state.
+type Set struct {
+	P interval.Interval // possible positions
+	V interval.Interval // possible velocities
+}
+
+// Contains reports whether the concrete state s lies inside the set.
+func (rs Set) Contains(s dynamics.State) bool {
+	return rs.P.Contains(s.P) && rs.V.Contains(s.V)
+}
+
+// Expand grows both intervals by the given margins (used to account for
+// measurement quantization when a snapshot itself is uncertain).
+func (rs Set) Expand(dp, dv float64) Set {
+	return Set{P: rs.P.Expand(dp), V: rs.V.Expand(dv)}
+}
+
+// Intersect returns the component-wise intersection.
+func (rs Set) Intersect(other Set) Set {
+	return Set{P: rs.P.Intersect(other.P), V: rs.V.Intersect(other.V)}
+}
+
+// IsEmpty reports whether either component is empty.
+func (rs Set) IsEmpty() bool { return rs.P.IsEmpty() || rs.V.IsEmpty() }
+
+// At computes the reachable set at time t ≥ snap.T for a vehicle with the
+// given limits, starting from the exact snapshot.  For t < snap.T (clock
+// skew) it returns the degenerate set at the snapshot.
+//
+// The position upper bound realizes paper Eq. 2: accelerate at AMax until
+// VMax, then cruise; the lower bound is the mirror image with AMin and VMin.
+func At(snap Snapshot, t float64, l dynamics.Limits) Set {
+	dt := t - snap.T
+	if dt <= 0 {
+		return Set{P: interval.Point(snap.S.P), V: interval.Point(snap.S.V)}
+	}
+	v := snap.S.V
+	vLo := v + l.AMin*dt
+	if vLo < l.VMin {
+		vLo = l.VMin
+	}
+	vHi := v + l.AMax*dt
+	if vHi > l.VMax {
+		vHi = l.VMax
+	}
+	pLo := snap.S.P + dynamics.DistanceAfter(dt, v, l.AMin, l.VMin, l.VMax)
+	pHi := snap.S.P + dynamics.DistanceAfter(dt, v, l.AMax, l.VMin, l.VMax)
+	return Set{
+		P: interval.New(pLo, pHi),
+		V: interval.New(vLo, vHi),
+	}
+}
+
+// FromSet propagates an interval state set forward by dt under the limits.
+// It is the set-valued counterpart of At and is used when the starting
+// knowledge is itself uncertain (e.g. a sensor-derived interval).
+func FromSet(s Set, dt float64, l dynamics.Limits) Set {
+	if dt <= 0 || s.IsEmpty() {
+		return s
+	}
+	vLo := s.V.Lo + l.AMin*dt
+	if vLo < l.VMin {
+		vLo = l.VMin
+	}
+	vHi := s.V.Hi + l.AMax*dt
+	if vHi > l.VMax {
+		vHi = l.VMax
+	}
+	pLo := s.P.Lo + dynamics.DistanceAfter(dt, s.V.Lo, l.AMin, l.VMin, l.VMax)
+	pHi := s.P.Hi + dynamics.DistanceAfter(dt, s.V.Hi, l.AMax, l.VMin, l.VMax)
+	return Set{
+		P: interval.New(pLo, pHi),
+		V: interval.New(vLo, vHi),
+	}
+}
+
+// Entire returns the least informative set compatible with the limits:
+// unbounded position, velocity inside [VMin, VMax].  It is the estimate
+// before any message or sensor reading has arrived.
+func Entire(l dynamics.Limits) Set {
+	return Set{P: interval.Entire(), V: interval.New(l.VMin, l.VMax)}
+}

@@ -1,0 +1,93 @@
+// Package sensor models the ego vehicle's onboard perception of other
+// vehicles (paper §II-A): every Δt_s seconds the ego obtains a measurement
+// of another vehicle's position, velocity, and acceleration, each corrupted
+// by independent uniform noise in [−δ, +δ].  Measurements arrive without
+// delay but are inaccurate — the mirror image of V2V messages, which are
+// accurate but late.
+package sensor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"safeplan/internal/dynamics"
+	"safeplan/internal/interval"
+)
+
+// Config holds the uniform noise half-widths (paper δ_p, δ_v, δ_a).
+type Config struct {
+	DeltaP float64 // position uncertainty [m]
+	DeltaV float64 // velocity uncertainty [m/s]
+	DeltaA float64 // acceleration uncertainty [m/s²]
+}
+
+// Validate reports whether all uncertainties are nonnegative.
+func (c Config) Validate() error {
+	if c.DeltaP < 0 || c.DeltaV < 0 || c.DeltaA < 0 {
+		return fmt.Errorf("sensor: negative uncertainty %+v", c)
+	}
+	return nil
+}
+
+// Uniform returns a Config with δ_p = δ_v = δ_a = d, the sweep used in the
+// paper's "messages lost" experiments.
+func Uniform(d float64) Config { return Config{DeltaP: d, DeltaV: d, DeltaA: d} }
+
+// Reading is one sensed snapshot of a target vehicle.
+type Reading struct {
+	Target int     // observed vehicle index
+	T      float64 // measurement time [s]
+	P      float64 // measured position [m]
+	V      float64 // measured velocity [m/s]
+	A      float64 // measured acceleration [m/s²]
+}
+
+// PosInterval returns the sound position interval implied by the reading:
+// the true position is within ±δ_p of the measurement by construction.
+func (r Reading) PosInterval(cfg Config) interval.Interval {
+	return interval.New(r.P-cfg.DeltaP, r.P+cfg.DeltaP)
+}
+
+// VelInterval returns the sound velocity interval implied by the reading.
+func (r Reading) VelInterval(cfg Config) interval.Interval {
+	return interval.New(r.V-cfg.DeltaV, r.V+cfg.DeltaV)
+}
+
+// Model samples noisy readings.  It is not safe for concurrent use.
+type Model struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New creates a sensor model drawing noise from rng.
+func New(cfg Config, rng *rand.Rand) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sensor: nil rng")
+	}
+	return &Model{cfg: cfg, rng: rng}, nil
+}
+
+// Config returns the model's noise configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Measure produces a reading of the target's true state s and acceleration
+// a at time t, with each component independently perturbed by uniform noise.
+func (m *Model) Measure(target int, t float64, s dynamics.State, a float64) Reading {
+	return Reading{
+		Target: target,
+		T:      t,
+		P:      s.P + m.uniform(m.cfg.DeltaP),
+		V:      s.V + m.uniform(m.cfg.DeltaV),
+		A:      a + m.uniform(m.cfg.DeltaA),
+	}
+}
+
+func (m *Model) uniform(d float64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return (m.rng.Float64()*2 - 1) * d
+}

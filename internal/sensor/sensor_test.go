@@ -1,0 +1,153 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"safeplan/internal/dynamics"
+)
+
+func newModel(t *testing.T, cfg Config, seed int64) *Model {
+	t.Helper()
+	m, err := New(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{DeltaP: -1}).Validate(); err == nil {
+		t.Error("negative DeltaP accepted")
+	}
+	if err := Uniform(2).Validate(); err != nil {
+		t.Errorf("Uniform(2) invalid: %v", err)
+	}
+}
+
+func TestUniformHelper(t *testing.T) {
+	c := Uniform(1.4)
+	if c.DeltaP != 1.4 || c.DeltaV != 1.4 || c.DeltaA != 1.4 {
+		t.Fatalf("Uniform = %+v", c)
+	}
+}
+
+func TestNewRejects(t *testing.T) {
+	if _, err := New(Uniform(1), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := New(Config{DeltaV: -2}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestZeroNoiseIsExact(t *testing.T) {
+	m := newModel(t, Config{}, 1)
+	s := dynamics.State{P: 12.5, V: 7.25}
+	r := m.Measure(1, 3.0, s, -0.5)
+	if r.P != s.P || r.V != s.V || r.A != -0.5 {
+		t.Fatalf("zero-noise reading = %+v", r)
+	}
+	if r.Target != 1 || r.T != 3.0 {
+		t.Fatalf("metadata wrong: %+v", r)
+	}
+}
+
+func TestNoiseBounded(t *testing.T) {
+	cfg := Config{DeltaP: 2, DeltaV: 1, DeltaA: 0.5}
+	m := newModel(t, cfg, 2)
+	s := dynamics.State{P: 100, V: 10}
+	for i := 0; i < 5000; i++ {
+		r := m.Measure(0, 0, s, 1)
+		if math.Abs(r.P-s.P) > cfg.DeltaP {
+			t.Fatalf("position noise out of bounds: %v", r.P-s.P)
+		}
+		if math.Abs(r.V-s.V) > cfg.DeltaV {
+			t.Fatalf("velocity noise out of bounds: %v", r.V-s.V)
+		}
+		if math.Abs(r.A-1) > cfg.DeltaA {
+			t.Fatalf("accel noise out of bounds: %v", r.A-1)
+		}
+	}
+}
+
+func TestNoiseRoughlyUniform(t *testing.T) {
+	// Mean ≈ 0 and variance ≈ δ²/3 for uniform noise — these are the
+	// moments the paper's Kalman R matrix assumes.
+	const n = 200000
+	cfg := Config{DeltaP: 3}
+	m := newModel(t, cfg, 3)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		r := m.Measure(0, 0, dynamics.State{}, 0)
+		sum += r.P
+		sumSq += r.P * r.P
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("noise mean = %v, want ≈0", mean)
+	}
+	want := cfg.DeltaP * cfg.DeltaP / 3
+	if math.Abs(variance-want)/want > 0.03 {
+		t.Fatalf("noise variance = %v, want ≈%v", variance, want)
+	}
+}
+
+func TestIntervalsSound(t *testing.T) {
+	cfg := Uniform(1.5)
+	m := newModel(t, cfg, 4)
+	s := dynamics.State{P: 40, V: 9}
+	for i := 0; i < 1000; i++ {
+		r := m.Measure(0, 0, s, 0)
+		if !r.PosInterval(cfg).Contains(s.P) {
+			t.Fatal("true position outside PosInterval")
+		}
+		if !r.VelInterval(cfg).Contains(s.V) {
+			t.Fatal("true velocity outside VelInterval")
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := newModel(t, Uniform(2), 77)
+	b := newModel(t, Uniform(2), 77)
+	s := dynamics.State{P: 5, V: 5}
+	for i := 0; i < 100; i++ {
+		ra, rb := a.Measure(0, 0, s, 0), b.Measure(0, 0, s, 0)
+		if ra != rb {
+			t.Fatal("sensor not deterministic for equal seeds")
+		}
+	}
+}
+
+// Property: the interval implied by a reading always contains the truth,
+// for arbitrary states and uncertainties.
+func TestQuickIntervalSoundness(t *testing.T) {
+	f := func(seed int64, pRaw, vRaw, dRaw float64) bool {
+		clean := func(x, cap float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Mod(math.Abs(x), cap)
+		}
+		cfg := Uniform(clean(dRaw, 10))
+		m, err := New(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		s := dynamics.State{P: clean(pRaw, 1000) - 500, V: clean(vRaw, 30)}
+		for i := 0; i < 20; i++ {
+			r := m.Measure(0, 0, s, 0)
+			if !r.PosInterval(cfg).Contains(s.P) || !r.VelInterval(cfg).Contains(s.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

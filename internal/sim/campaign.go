@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"safeplan/internal/core"
+)
+
+// RunMany simulates n episodes of agent under cfg with master seeds
+// baseSeed, baseSeed+1, …, baseSeed+n−1, fanning the work across CPU
+// cores.  Results are returned in seed order so campaigns of different
+// agents over the same seeds are pairwise comparable (same C1 behaviour,
+// same channel and sensor noise).
+//
+// The agent must be stateless across episodes (every agent in this
+// repository is); per-episode state (filters, channels, drivers) is
+// created inside Run.
+func RunMany(cfg Config, agent core.Agent, n int, baseSeed int64) ([]Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: non-positive episode count %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	ParallelFor(n, func(i int) {
+		results[i], errs[i] = Run(cfg, agent, Options{Seed: baseSeed + int64(i)})
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: episode %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// ParallelFor runs f(0) … f(n−1) across GOMAXPROCS workers and waits for
+// completion.  f must only write to index-disjoint state.  It is exported
+// for the sibling scenario packages' campaign runners.
+func ParallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/dynamics"
+	"safeplan/internal/fusion"
+	"safeplan/internal/leftturn"
+	"safeplan/internal/sensor"
+	"safeplan/internal/traffic"
+)
+
+// MultiConfig extends Config with a stream of oncoming vehicles: vehicle i
+// starts SpacingDist·i metres behind the first (plus jitter), each with its
+// own random behaviour, V2V channel, sensor stream, and fusion filter.
+type MultiConfig struct {
+	Config
+
+	// Vehicles is the number of oncoming vehicles (≥ 1).
+	Vehicles int
+	// SpacingDist separates successive vehicles' start positions [m].
+	// Zero selects DefaultSpacingDist.
+	SpacingDist float64
+	// SpacingJitter adds U(0, SpacingJitter) extra metres per gap.
+	SpacingJitter float64
+}
+
+// DefaultSpacingDist keeps successive oncoming vehicles ≈2 s apart at
+// typical speeds.
+const DefaultSpacingDist = 20
+
+// DefaultMultiConfig returns a three-vehicle stream over the standard
+// evaluation defaults, with a longer horizon so the whole stream can clear.
+func DefaultMultiConfig() MultiConfig {
+	cfg := DefaultConfig()
+	cfg.Horizon = 45
+	return MultiConfig{
+		Config:        cfg,
+		Vehicles:      3,
+		SpacingDist:   DefaultSpacingDist,
+		SpacingJitter: 8,
+	}
+}
+
+// Validate checks the configuration.
+func (c MultiConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.Vehicles < 1 {
+		return fmt.Errorf("sim: need at least one oncoming vehicle, got %d", c.Vehicles)
+	}
+	if c.SpacingDist < 0 || c.SpacingJitter < 0 {
+		return fmt.Errorf("sim: negative spacing")
+	}
+	return nil
+}
+
+// oncomingTrack bundles one oncoming vehicle's simulation state.
+type oncomingTrack struct {
+	state   dynamics.State
+	accel   float64
+	driver  *traffic.Driver
+	channel *comms.Channel
+	sensor  *sensor.Model
+	filter  *fusion.Filter
+}
+
+// RunMulti simulates one episode with a stream of oncoming vehicles.  The
+// episode ends at the first collision with any vehicle, when the ego
+// clears the zone, or at the horizon.
+func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = DefaultHorizon
+	}
+	master := rand.New(rand.NewSource(opts.Seed))
+	initRng := rand.New(rand.NewSource(master.Int63()))
+	sensDropRng := rand.New(rand.NewSource(master.Int63()))
+
+	sc := cfg.Scenario
+	tracks := make([]*oncomingTrack, cfg.Vehicles)
+	offset := 0.0
+	for i := range tracks {
+		driver, err := traffic.NewDriver(cfg.Driver, rand.New(rand.NewSource(master.Int63())))
+		if err != nil {
+			return Result{}, err
+		}
+		channel, err := comms.NewChannel(cfg.Comms, rand.New(rand.NewSource(master.Int63())))
+		if err != nil {
+			return Result{}, err
+		}
+		sens, err := sensor.New(cfg.Sensor, rand.New(rand.NewSource(master.Int63())))
+		if err != nil {
+			return Result{}, err
+		}
+		filt, err := fusion.New(fusion.Config{
+			Limits:    sc.Oncoming,
+			Sensor:    cfg.Sensor,
+			UseKalman: cfg.InfoFilter,
+			Replay:    cfg.InfoFilter && !cfg.NoReplay,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		s := sc.OncomingInit
+		if cfg.OncomingStartSpread > 0 {
+			s.P -= initRng.Float64() * cfg.OncomingStartSpread
+		}
+		if cfg.OncomingSpeedMax > 0 {
+			s.V = cfg.OncomingSpeedMin + initRng.Float64()*(cfg.OncomingSpeedMax-cfg.OncomingSpeedMin)
+		}
+		s.P -= offset
+		offset += cfg.SpacingDist + initRng.Float64()*cfg.SpacingJitter
+		filt.InitExact(0, s, 0)
+		tracks[i] = &oncomingTrack{state: s, driver: driver, channel: channel, sensor: sens, filter: filt}
+	}
+
+	ego := sc.EgoInit
+	msgTick := comms.NewTicker(cfg.DtM)
+	msgTick.Due(0)
+	sensTick := comms.NewTicker(cfg.DtS)
+	sensTick.Due(0)
+
+	var res Result
+	dt := sc.DtC
+	maxSteps := int(horizon/dt) + 1
+	ks := make([]core.Knowledge, len(tracks))
+	for step := 0; step < maxSteps; step++ {
+		t := float64(step) * dt
+
+		msgAt, msgDue := msgTick.Due(t)
+		sensAt, sensDue := sensTick.Due(t)
+		for i, tr := range tracks {
+			if msgDue {
+				tr.channel.Send(comms.Message{Sender: i + 1, T: msgAt, P: tr.state.P, V: tr.state.V, A: tr.accel})
+			}
+			for _, m := range tr.channel.Poll(t) {
+				tr.filter.OnMessage(m)
+			}
+			if sensDue && (cfg.SensorDropProb == 0 || sensDropRng.Float64() >= cfg.SensorDropProb) {
+				tr.filter.OnReading(tr.sensor.Measure(i+1, sensAt, tr.state, tr.accel))
+			}
+			est := tr.filter.EstimateAt(t)
+			if !est.P.Contains(tr.state.P) || !est.V.Contains(tr.state.V) {
+				res.SoundnessViolations++
+			}
+			ks[i] = core.Knowledge{
+				Sound: leftturn.OncomingEstimate{
+					P: est.SoundP, V: est.SoundV,
+					PointP: est.PointP, PointV: est.PointV, A: est.A,
+				},
+				Fused: leftturn.OncomingEstimate{
+					P: est.P, V: est.V,
+					PointP: est.PointP, PointV: est.PointV, A: est.A,
+				},
+			}
+		}
+
+		a0, emergency := agent.Accel(t, ego, ks)
+		if emergency {
+			res.EmergencySteps++
+		}
+
+		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)
+		for _, tr := range tracks {
+			ba := tr.driver.Accel(t, tr.state)
+			tr.state, tr.accel = dynamics.Step(tr.state, ba, dt, sc.Oncoming)
+		}
+		res.Steps++
+
+		for _, tr := range tracks {
+			if sc.Collision(ego, tr.state) {
+				res.Collided = true
+				res.Eta = -1
+				return res, nil
+			}
+		}
+		if sc.ReachedTarget(ego) {
+			res.Reached = true
+			res.ReachTime = t + dt
+			res.Eta = 1 / res.ReachTime
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// RunManyMulti is the campaign counterpart of RunMulti (seed-paired, one
+// goroutine per core).
+func RunManyMulti(cfg MultiConfig, agent core.MultiAgent, n int, baseSeed int64) ([]Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: non-positive episode count %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	ParallelFor(n, func(i int) {
+		results[i], errs[i] = RunMulti(cfg, agent, Options{Seed: baseSeed + int64(i)})
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: episode %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,316 @@
+// Package sim closes the loop of the paper's evaluation (§V): it steps the
+// ego and oncoming vehicles, the V2V channel with its disturbance model,
+// the noisy onboard sensor, the information filter, and the agent (pure NN
+// planner or compound planner) under a single deterministic seed, and
+// scores each episode with the paper's evaluation function η.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/dynamics"
+	"safeplan/internal/fusion"
+	"safeplan/internal/leftturn"
+	"safeplan/internal/sensor"
+	"safeplan/internal/traffic"
+)
+
+// Config assembles one simulation campaign's fixed parameters.
+type Config struct {
+	Scenario leftturn.Config // geometry, limits, control period
+	Comms    comms.Config    // disturbance setting
+	Sensor   sensor.Config   // onboard sensor noise
+	Driver   traffic.DriverConfig
+
+	DtM float64 // message transmission period Δt_m [s]
+	DtS float64 // sensing period Δt_s [s]
+
+	// InfoFilter enables the Kalman component (with message replay) in the
+	// fusion filter — the paper's information filter.  Off for the pure
+	// and basic configurations, on for the ultimate one.
+	InfoFilter bool
+	// NoReplay disables the Kalman message rollback/replay while keeping
+	// the filter itself (ablation; meaningful only with InfoFilter).
+	NoReplay bool
+
+	// SensorDropProb drops each scheduled sensor reading with this
+	// probability (failure injection: a flaky perception stack).
+	SensorDropProb float64
+
+	Horizon float64 // episode cutoff [s]; 0 selects DefaultHorizon
+
+	// OncomingStartSpread is the width of the initial-position sweep: each
+	// episode starts C1 at OncomingInit.P − U(0, spread) (the paper's
+	// p1(0) ∈ {50.5 + 0.5j | j = 0..19} becomes spread 9.5 m on the
+	// mirrored axis).  Zero keeps the configured start.
+	OncomingStartSpread float64
+	// OncomingSpeedMin/Max sample the initial oncoming speed; both zero
+	// keeps the configured OncomingInit.V.
+	OncomingSpeedMin, OncomingSpeedMax float64
+}
+
+// DefaultHorizon cuts an episode after 30 simulated seconds.
+const DefaultHorizon = 30
+
+// DefaultConfig returns the evaluation defaults documented in
+// EXPERIMENTS.md: Δt_m = Δt_s = 0.1 s, sensor δ = 1, perfect comms,
+// C1's paper start sweep, and initial speeds 7–15 m/s.
+func DefaultConfig() Config {
+	return Config{
+		Scenario:            leftturn.DefaultConfig(),
+		Comms:               comms.NoDisturbance(),
+		Sensor:              sensor.Uniform(1),
+		Driver:              traffic.DefaultDriverConfig(),
+		DtM:                 0.1,
+		DtS:                 0.1,
+		Horizon:             DefaultHorizon,
+		OncomingStartSpread: 9.5,
+		OncomingSpeedMin:    7,
+		OncomingSpeedMax:    15,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Scenario.Validate(); err != nil {
+		return err
+	}
+	if err := c.Comms.Validate(); err != nil {
+		return err
+	}
+	if err := c.Sensor.Validate(); err != nil {
+		return err
+	}
+	if err := c.Driver.Validate(); err != nil {
+		return err
+	}
+	if c.DtM <= 0 || c.DtS <= 0 {
+		return fmt.Errorf("sim: non-positive periods DtM=%v DtS=%v", c.DtM, c.DtS)
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("sim: negative horizon %v", c.Horizon)
+	}
+	if c.OncomingStartSpread < 0 {
+		return fmt.Errorf("sim: negative start spread")
+	}
+	if c.OncomingSpeedMin > c.OncomingSpeedMax {
+		return fmt.Errorf("sim: oncoming speed range reversed")
+	}
+	if c.SensorDropProb < 0 || c.SensorDropProb > 1 {
+		return fmt.Errorf("sim: sensor drop probability %v outside [0,1]", c.SensorDropProb)
+	}
+	return nil
+}
+
+// Sample is one trace row (recorded when Options.Trace is set).
+type Sample struct {
+	T float64
+
+	EgoP, EgoV, EgoA float64
+	OncP, OncV, OncA float64 // ground truth
+
+	MeasP, MeasV   float64 // latest raw sensor reading (NaN before the first)
+	EstP, EstV     float64 // fused point estimates
+	EstPLo, EstPHi float64 // fused position interval
+	EstVLo, EstVHi float64 // fused velocity interval
+
+	SoundPLo, SoundPHi float64 // sound position interval
+	SoundVLo, SoundVHi float64 // sound velocity interval
+	SoundLo, SoundHi   float64 // conservative window over the sound estimate
+
+	ConsLo, ConsHi float64 // conservative window (relative times)
+	AggrLo, AggrHi float64 // aggressive window (relative times)
+
+	Emergency bool
+}
+
+// Result scores one episode.
+type Result struct {
+	Reached   bool
+	ReachTime float64
+	Collided  bool
+	Eta       float64
+
+	Steps          int
+	EmergencySteps int
+
+	// SoundnessViolations counts steps where the fused interval failed to
+	// contain the true oncoming state (diagnostic; expected 0 without the
+	// Kalman component and near 0 with it).
+	SoundnessViolations int
+
+	Trace []Sample
+}
+
+// EmergencyFrequency is the fraction of control steps commanded by κ_e.
+func (r Result) EmergencyFrequency() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.EmergencySteps) / float64(r.Steps)
+}
+
+// Options selects per-episode behaviour.
+type Options struct {
+	Seed  int64 // master seed; every random stream derives from it
+	Trace bool  // record per-step samples
+}
+
+// Run simulates one episode of agent under cfg and returns its Result.
+func Run(cfg Config, agent core.Agent, opts Options) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = DefaultHorizon
+	}
+	master := rand.New(rand.NewSource(opts.Seed))
+	// Independent streams, seeded deterministically from the master.
+	driverRng := rand.New(rand.NewSource(master.Int63()))
+	chanRng := rand.New(rand.NewSource(master.Int63()))
+	sensRng := rand.New(rand.NewSource(master.Int63()))
+	initRng := rand.New(rand.NewSource(master.Int63()))
+	sensDropRng := rand.New(rand.NewSource(master.Int63()))
+
+	driver, err := traffic.NewDriver(cfg.Driver, driverRng)
+	if err != nil {
+		return Result{}, err
+	}
+	channel, err := comms.NewChannel(cfg.Comms, chanRng)
+	if err != nil {
+		return Result{}, err
+	}
+	sens, err := sensor.New(cfg.Sensor, sensRng)
+	if err != nil {
+		return Result{}, err
+	}
+	filt, err := fusion.New(fusion.Config{
+		Limits:    cfg.Scenario.Oncoming,
+		Sensor:    cfg.Sensor,
+		UseKalman: cfg.InfoFilter,
+		Replay:    cfg.InfoFilter && !cfg.NoReplay,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	sc := cfg.Scenario
+	ego := sc.EgoInit
+	onc := sc.OncomingInit
+	if cfg.OncomingStartSpread > 0 {
+		onc.P -= initRng.Float64() * cfg.OncomingStartSpread
+	}
+	if cfg.OncomingSpeedMax > 0 {
+		onc.V = cfg.OncomingSpeedMin + initRng.Float64()*(cfg.OncomingSpeedMax-cfg.OncomingSpeedMin)
+	}
+
+	// The scenario starts with a handshake broadcast: the initial oncoming
+	// state is known exactly (paper §IV assumes C0 obtains p1, v1; all
+	// later knowledge flows through the disturbed channel and sensors).
+	filt.InitExact(0, onc, 0)
+
+	msgTick := comms.NewTicker(cfg.DtM)
+	msgTick.Due(0) // initial broadcast consumed by InitExact
+	sensTick := comms.NewTicker(cfg.DtS)
+	sensTick.Due(0)
+
+	var res Result
+	var oncA float64
+	var lastMeas *sensor.Reading
+
+	dt := sc.DtC
+	maxSteps := int(horizon/dt) + 1
+	for step := 0; step < maxSteps; step++ {
+		t := float64(step) * dt
+
+		// 1. Periodic V2V broadcast of C1's current state.
+		if at, ok := msgTick.Due(t); ok {
+			channel.Send(comms.Message{Sender: 1, T: at, P: onc.P, V: onc.V, A: oncA})
+		}
+		// 2. Deliver whatever the channel releases at this instant.
+		for _, m := range channel.Poll(t) {
+			filt.OnMessage(m)
+		}
+		// 3. Periodic onboard sensing (subject to injected dropout).
+		if at, ok := sensTick.Due(t); ok {
+			if cfg.SensorDropProb == 0 || sensDropRng.Float64() >= cfg.SensorDropProb {
+				r := sens.Measure(1, at, onc, oncA)
+				lastMeas = &r
+				filt.OnReading(r)
+			}
+		}
+
+		// 4. Fuse and plan.
+		est := filt.EstimateAt(t)
+		if !est.P.Contains(onc.P) || !est.V.Contains(onc.V) {
+			res.SoundnessViolations++
+		}
+		know := core.Knowledge{
+			Sound: leftturn.OncomingEstimate{
+				P: est.SoundP, V: est.SoundV,
+				PointP: est.PointP, PointV: est.PointV,
+				A: est.A,
+			},
+			Fused: leftturn.OncomingEstimate{
+				P: est.P, V: est.V,
+				PointP: est.PointP, PointV: est.PointV,
+				A: est.A,
+			},
+		}
+		a0, emergency := agent.Accel(t, ego, know)
+		if emergency {
+			res.EmergencySteps++
+		}
+
+		if opts.Trace {
+			cons := sc.ConservativeWindow(know.Fused)
+			aggr := sc.AggressiveWindow(know.Fused)
+			soundW := sc.ConservativeWindow(know.Sound)
+			s := Sample{
+				T:    t,
+				EgoP: ego.P, EgoV: ego.V, EgoA: a0,
+				OncP: onc.P, OncV: onc.V, OncA: oncA,
+				MeasP: math.NaN(), MeasV: math.NaN(),
+				EstP: est.PointP, EstV: est.PointV,
+				EstPLo: est.P.Lo, EstPHi: est.P.Hi,
+				EstVLo: est.V.Lo, EstVHi: est.V.Hi,
+				ConsLo: cons.Lo, ConsHi: cons.Hi,
+				AggrLo: aggr.Lo, AggrHi: aggr.Hi,
+				SoundPLo: est.SoundP.Lo, SoundPHi: est.SoundP.Hi,
+				SoundVLo: est.SoundV.Lo, SoundVHi: est.SoundV.Hi,
+				SoundLo: soundW.Lo, SoundHi: soundW.Hi,
+				Emergency: emergency,
+			}
+			if lastMeas != nil {
+				s.MeasP, s.MeasV = lastMeas.P, lastMeas.V
+			}
+			res.Trace = append(res.Trace, s)
+		}
+
+		// 5. Advance the world.
+		behavA := driver.Accel(t, onc)
+		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)
+		onc, oncA = dynamics.Step(onc, behavA, dt, sc.Oncoming)
+		res.Steps++
+
+		// 6. Outcome checks.
+		if sc.Collision(ego, onc) {
+			res.Collided = true
+			res.Eta = -1
+			return res, nil
+		}
+		if sc.ReachedTarget(ego) {
+			res.Reached = true
+			res.ReachTime = t + dt
+			res.Eta = 1 / res.ReachTime
+			return res, nil
+		}
+	}
+	// Timeout: neither target nor violation — η = 0.
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package textio
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("setting", "planner", "rt")
+	tb.AddRow("none", "pure NN", "7.99")
+	tb.AddRow("delayed", "ultimate", "6.72")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "setting") || !strings.Contains(lines[0], "planner") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator wrong: %q", lines[1])
+	}
+	// Columns align: "planner" column starts at the same offset everywhere.
+	off := strings.Index(lines[0], "planner")
+	if strings.Index(lines[2], "pure NN") != off {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x") {
+		t.Fatal("short row missing")
+	}
+}
+
+func TestTableLongRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable("a").AddRow("1", "2")
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("plain", "with,comma")
+	tb.AddRow("quote\"inside", "ok")
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"with,comma\"\n\"quote\"\"inside\",ok\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestF(t *testing.T) {
+	if got := F(1.23456, 3); got != "1.235" {
+		t.Fatalf("F = %q", got)
+	}
+	if got := F(math.NaN(), 2); got != "—" {
+		t.Fatalf("F(NaN) = %q", got)
+	}
+	if got := F(math.Inf(1), 2); got != "inf" {
+		t.Fatalf("F(+Inf) = %q", got)
+	}
+	if got := F(math.Inf(-1), 2); got != "-inf" {
+		t.Fatalf("F(-Inf) = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.99966); got != "99.97%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(math.NaN()); got != "—" {
+		t.Fatalf("Pct(NaN) = %q", got)
+	}
+}
+
+func TestChart(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	var sb strings.Builder
+	err := Chart(&sb, "reaching time", xs, 6,
+		Series{Name: "pure", Y: []float64{8, 8.5, 9, 9.5}},
+		Series{Name: "ultimate", Y: []float64{6.4, 6.6, 6.9, 7.2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "reaching time") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*=pure") || !strings.Contains(out, "o=ultimate") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "9.500") || !strings.Contains(out, "6.400") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestChartSkipsNaN(t *testing.T) {
+	var sb strings.Builder
+	err := Chart(&sb, "t", []float64{1, 2}, 4,
+		Series{Name: "s", Y: []float64{math.NaN(), 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartAllNaNFails(t *testing.T) {
+	var sb strings.Builder
+	err := Chart(&sb, "t", []float64{1}, 4, Series{Name: "s", Y: []float64{math.NaN()}})
+	if err == nil {
+		t.Fatal("expected error for chart with no finite points")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	var sb strings.Builder
+	if err := Chart(&sb, "flat", []float64{1, 2, 3}, 4,
+		Series{Name: "s", Y: []float64{5, 5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package traffic provides the workload model for the oncoming vehicle C1:
+// the paper drives C1 with "a randomly generated sequence of accelerations"
+// (§V-A).  Independent per-step noise would average out to constant speed,
+// so the generator produces structured randomness: piecewise-constant random
+// target speeds tracked with bounded acceleration.  This yields oncoming
+// arrival times that vary by several seconds across simulations — the
+// variability that separates conservative from aggressive planning.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"safeplan/internal/dynamics"
+)
+
+// DriverConfig shapes the random behaviour of the oncoming vehicle.
+type DriverConfig struct {
+	VTargetMin, VTargetMax float64 // target-speed range sampled per segment [m/s]
+	SegMin, SegMax         float64 // segment duration range [s]
+	AccelMin, AccelMax     float64 // behavioural acceleration envelope [m/s²]
+	Response               float64 // speed-tracking time constant [s]
+}
+
+// DefaultDriverConfig returns the workload used by the evaluation:
+// behavioural acceleration within [−3, 2.5] m/s² (inside the physical
+// envelope used by the safety analysis), target speeds 5–15 m/s resampled
+// every 0.8–2.5 s.
+func DefaultDriverConfig() DriverConfig {
+	return DriverConfig{
+		VTargetMin: 5,
+		VTargetMax: 15,
+		SegMin:     0.8,
+		SegMax:     2.5,
+		AccelMin:   -3,
+		AccelMax:   2.5,
+		Response:   0.6,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c DriverConfig) Validate() error {
+	switch {
+	case c.VTargetMin > c.VTargetMax:
+		return fmt.Errorf("traffic: target speed range reversed")
+	case c.SegMin <= 0 || c.SegMin > c.SegMax:
+		return fmt.Errorf("traffic: bad segment durations [%v, %v]", c.SegMin, c.SegMax)
+	case c.AccelMin >= 0 || c.AccelMax <= 0:
+		return fmt.Errorf("traffic: behavioural accel envelope must straddle 0")
+	case c.Response <= 0:
+		return fmt.Errorf("traffic: non-positive response time")
+	}
+	return nil
+}
+
+// Driver generates the oncoming vehicle's acceleration.  It is not safe for
+// concurrent use.
+type Driver struct {
+	cfg     DriverConfig
+	rng     *rand.Rand
+	vTarget float64
+	segEnd  float64
+	started bool
+}
+
+// NewDriver creates a Driver drawing randomness from rng.
+func NewDriver(cfg DriverConfig, rng *rand.Rand) (*Driver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("traffic: nil rng")
+	}
+	return &Driver{cfg: cfg, rng: rng}, nil
+}
+
+// Accel returns the behavioural acceleration command at time t for the
+// current state s.  The caller applies physical clamping via dynamics.Step.
+func (d *Driver) Accel(t float64, s dynamics.State) float64 {
+	if !d.started || t >= d.segEnd {
+		d.started = true
+		d.vTarget = d.cfg.VTargetMin + d.rng.Float64()*(d.cfg.VTargetMax-d.cfg.VTargetMin)
+		d.segEnd = t + d.cfg.SegMin + d.rng.Float64()*(d.cfg.SegMax-d.cfg.SegMin)
+	}
+	a := (d.vTarget - s.V) / d.cfg.Response
+	if a > d.cfg.AccelMax {
+		a = d.cfg.AccelMax
+	}
+	if a < d.cfg.AccelMin {
+		a = d.cfg.AccelMin
+	}
+	return a
+}
+
+// Target returns the current target speed (for tests and traces).
+func (d *Driver) Target() float64 { return d.vTarget }

@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"safeplan/internal/dynamics"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultDriverConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []DriverConfig{
+		{VTargetMin: 10, VTargetMax: 5, SegMin: 1, SegMax: 2, AccelMin: -1, AccelMax: 1, Response: 1},
+		{VTargetMin: 1, VTargetMax: 5, SegMin: 0, SegMax: 2, AccelMin: -1, AccelMax: 1, Response: 1},
+		{VTargetMin: 1, VTargetMax: 5, SegMin: 3, SegMax: 2, AccelMin: -1, AccelMax: 1, Response: 1},
+		{VTargetMin: 1, VTargetMax: 5, SegMin: 1, SegMax: 2, AccelMin: 1, AccelMax: 2, Response: 1},
+		{VTargetMin: 1, VTargetMax: 5, SegMin: 1, SegMax: 2, AccelMin: -1, AccelMax: 1, Response: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewDriverRejectsNilRNG(t *testing.T) {
+	if _, err := NewDriver(DefaultDriverConfig(), nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestAccelWithinEnvelope(t *testing.T) {
+	cfg := DefaultDriverConfig()
+	d, err := NewDriver(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dynamics.State{P: 0, V: 8}
+	lim := dynamics.Limits{VMin: 0, VMax: 15, AMin: -6, AMax: 3}
+	for i := 0; i < 2000; i++ {
+		a := d.Accel(float64(i)*0.05, s)
+		if a < cfg.AccelMin-1e-12 || a > cfg.AccelMax+1e-12 {
+			t.Fatalf("accel %v outside behavioural envelope", a)
+		}
+		s, _ = dynamics.Step(s, a, 0.05, lim)
+	}
+}
+
+func TestTargetResampledPerSegment(t *testing.T) {
+	d, err := NewDriver(DefaultDriverConfig(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dynamics.State{V: 8}
+	seen := map[float64]bool{}
+	for i := 0; i < 4000; i++ {
+		d.Accel(float64(i)*0.05, s)
+		seen[d.Target()] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("only %d distinct targets over 200 s; resampling broken", len(seen))
+	}
+}
+
+func TestTargetsWithinRange(t *testing.T) {
+	cfg := DefaultDriverConfig()
+	d, _ := NewDriver(cfg, rand.New(rand.NewSource(3)))
+	s := dynamics.State{V: 8}
+	for i := 0; i < 2000; i++ {
+		d.Accel(float64(i)*0.05, s)
+		if tv := d.Target(); tv < cfg.VTargetMin || tv > cfg.VTargetMax {
+			t.Fatalf("target %v outside range", tv)
+		}
+	}
+}
+
+func TestDriverTracksTarget(t *testing.T) {
+	// With a long segment, the speed should approach the target.
+	cfg := DefaultDriverConfig()
+	cfg.SegMin, cfg.SegMax = 50, 60
+	d, _ := NewDriver(cfg, rand.New(rand.NewSource(4)))
+	lim := dynamics.Limits{VMin: 0, VMax: 15, AMin: -6, AMax: 3}
+	s := dynamics.State{V: 0}
+	for i := 0; i < 400; i++ { // 20 s at 0.05
+		a := d.Accel(float64(i)*0.05, s)
+		s, _ = dynamics.Step(s, a, 0.05, lim)
+	}
+	if diff := s.V - d.Target(); diff > 0.5 || diff < -0.5 {
+		t.Fatalf("speed %v far from target %v after 20 s", s.V, d.Target())
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() []float64 {
+		d, _ := NewDriver(DefaultDriverConfig(), rand.New(rand.NewSource(7)))
+		s := dynamics.State{V: 8}
+		var out []float64
+		for i := 0; i < 100; i++ {
+			out = append(out, d.Accel(float64(i)*0.05, s))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("driver not deterministic")
+		}
+	}
+}
+
+// Property: driving any vehicle with the generated accelerations keeps its
+// velocity within the physical envelope (the behavioural envelope is inside
+// the physical one, and dynamics.Step enforces the rest).
+func TestQuickPhysicalEnvelope(t *testing.T) {
+	lim := dynamics.Limits{VMin: 0, VMax: 15, AMin: -6, AMax: 3}
+	f := func(seed int64) bool {
+		d, err := NewDriver(DefaultDriverConfig(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		s := dynamics.State{V: 8}
+		for i := 0; i < 400; i++ {
+			a := d.Accel(float64(i)*0.05, s)
+			s, _ = dynamics.Step(s, a, 0.05, lim)
+			if s.V < lim.VMin-1e-9 || s.V > lim.VMax+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package safeplan is a safety-guaranteed framework for neural-network-
+// based planners in connected vehicles under communication disturbance —
+// a from-scratch Go reproduction of Chang et al., DATE 2023.
+//
+// Given any planner κ_n (an NN trained here by imitation, or any
+// user-supplied policy), the framework produces a compound planner κ_c
+// that (a) is guaranteed never to enter the unsafe set, enforced by a
+// runtime monitor and an emergency planner, and (b) matches or beats the
+// efficiency of κ_n, helped by an information filter over delayed V2V
+// messages and noisy sensors and by an aggressive unsafe-set estimate fed
+// to κ_n.
+//
+// # Quick start
+//
+//	scenario := safeplan.DefaultScenario()
+//	kn := safeplan.NewConservativeExpert(scenario)   // or load/train an NN planner
+//	agent := safeplan.BuildUltimate(scenario, kn)    // monitor + κ_e + filter + aggressive set
+//	cfg := safeplan.DefaultSimConfig()
+//	cfg.InfoFilter = true                            // pair ultimate agents with the filter
+//	result, err := safeplan.RunEpisode(cfg, agent, 1 /* seed */)
+//
+// See the examples/ directory for runnable programs and internal/… for the
+// substrate packages (dynamics, reachability, Kalman filtering, the V2V
+// channel model, the unprotected-left-turn case study, and the experiment
+// harness that regenerates every table and figure of the paper).
+package safeplan
+
+import (
+	"fmt"
+
+	"safeplan/internal/carfollow"
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/dynamics"
+	"safeplan/internal/eval"
+	"safeplan/internal/experiments"
+	"safeplan/internal/interval"
+	"safeplan/internal/leftturn"
+	"safeplan/internal/planner"
+	"safeplan/internal/sensor"
+	"safeplan/internal/sim"
+	"safeplan/internal/traffic"
+)
+
+// Core vocabulary, re-exported for downstream users.  The aliased types
+// live in internal packages; the aliases are the supported public names.
+type (
+	// Scenario is the unprotected-left-turn scenario configuration
+	// (geometry, vehicle limits, control period, margins, Eq. 8 buffers).
+	Scenario = leftturn.Config
+	// VehicleState is a (position, velocity) kinematic state.
+	VehicleState = dynamics.State
+	// VehicleLimits is a physical envelope (velocity and acceleration).
+	VehicleLimits = dynamics.Limits
+	// Interval is a closed real interval.
+	Interval = interval.Interval
+	// OncomingEstimate is planner-visible knowledge about the oncoming car.
+	OncomingEstimate = leftturn.OncomingEstimate
+
+	// Planner maps (t, ego state, oncoming window) to an acceleration.
+	Planner = planner.Planner
+	// PlannerFunc adapts a plain function to the Planner interface.
+	PlannerFunc = planner.Func
+	// Expert is an analytic rule policy (the imitation teacher).
+	Expert = planner.Expert
+	// NNPlanner is a trained neural-network planner.
+	NNPlanner = planner.NNPlanner
+	// TrainOptions drives imitation learning.
+	TrainOptions = planner.TrainOptions
+
+	// Agent is a closed-loop decision maker (pure κ_n or compound κ_c).
+	Agent = core.Agent
+	// Knowledge carries the sound and fused filter estimates per step.
+	Knowledge = core.Knowledge
+	// CompoundPlanner is the paper's κ_c.
+	CompoundPlanner = core.Compound
+
+	// CommsConfig describes the V2V channel disturbance.
+	CommsConfig = comms.Config
+	// SensorConfig holds the uniform sensor noise half-widths.
+	SensorConfig = sensor.Config
+	// DriverConfig shapes the oncoming vehicle's random behaviour.
+	DriverConfig = traffic.DriverConfig
+
+	// SimConfig assembles one simulation campaign.
+	SimConfig = sim.Config
+	// EpisodeResult scores one closed-loop episode.
+	EpisodeResult = sim.Result
+	// CampaignStats aggregates a campaign (Tables I–II statistics).
+	CampaignStats = eval.Stats
+)
+
+// DefaultScenario returns the evaluation's unprotected-left-turn constants.
+func DefaultScenario() Scenario { return leftturn.DefaultConfig() }
+
+// DefaultSimConfig returns the evaluation defaults (perfect comms, δ = 1,
+// Δt_m = Δt_s = 0.1 s, the paper's initial-condition sweep).
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// Channel disturbance settings of the paper's evaluation.
+var (
+	// NoDisturbance is perfect communication.
+	NoDisturbance = comms.NoDisturbance
+	// DelayedComms delays every message and drops each with probability pd.
+	DelayedComms = comms.Delayed
+	// LostComms drops every message (sensors only).
+	LostComms = comms.Lost
+	// UniformSensor sets δ_p = δ_v = δ_a = d.
+	UniformSensor = sensor.Uniform
+)
+
+// NewConservativeExpert returns the yield-first expert policy κ_n,cons.
+func NewConservativeExpert(sc Scenario) *Expert { return planner.ConservativeExpert(sc) }
+
+// NewAggressiveExpert returns the gap-taking expert policy κ_n,aggr.
+func NewAggressiveExpert(sc Scenario) *Expert { return planner.AggressiveExpert(sc) }
+
+// TrainPlanner imitation-trains an NN planner from an expert (or any
+// Planner used as the teacher) and returns it with its final training loss.
+func TrainPlanner(sc Scenario, teacher Planner, label string, opts TrainOptions) (*NNPlanner, float64, error) {
+	return planner.TrainNNPlanner(sc, teacher, label, opts)
+}
+
+// LoadPlanner reads an NN planner saved with NNPlanner.Save.
+func LoadPlanner(path, label string, sc Scenario) (*NNPlanner, error) {
+	return planner.LoadNNPlanner(path, label, sc.Ego)
+}
+
+// BuildPure wraps κ_n without any safety machinery — the paper's baseline.
+func BuildPure(sc Scenario, kn Planner) Agent { return &core.PureNN{Cfg: sc, Planner: kn} }
+
+// BuildBasic builds the basic compound planner κ_cb: runtime monitor and
+// emergency planner only.  Run it with SimConfig.InfoFilter = false.
+func BuildBasic(sc Scenario, kn Planner) *CompoundPlanner { return core.NewBasic(sc, kn) }
+
+// BuildUltimate builds the ultimate compound planner κ_cu: monitor,
+// emergency planner, and aggressive unsafe-set estimation.  Pair it with
+// SimConfig.InfoFilter = true to enable the information filter.
+func BuildUltimate(sc Scenario, kn Planner) *CompoundPlanner { return core.NewUltimate(sc, kn) }
+
+// RunEpisode simulates one closed-loop episode.
+func RunEpisode(cfg SimConfig, agent Agent, seed int64) (EpisodeResult, error) {
+	return sim.Run(cfg, agent, sim.Options{Seed: seed})
+}
+
+// RunEpisodeTraced simulates one episode and records the per-step trace.
+func RunEpisodeTraced(cfg SimConfig, agent Agent, seed int64) (EpisodeResult, error) {
+	return sim.Run(cfg, agent, sim.Options{Seed: seed, Trace: true})
+}
+
+// RunCampaign simulates n episodes over seeds baseSeed…baseSeed+n−1 in
+// parallel and aggregates the paper's statistics.
+func RunCampaign(cfg SimConfig, agent Agent, n int, baseSeed int64) (CampaignStats, error) {
+	rs, err := sim.RunMany(cfg, agent, n, baseSeed)
+	if err != nil {
+		return CampaignStats{}, err
+	}
+	return eval.Aggregate(rs), nil
+}
+
+// WinningPercentage compares two paired η series (see eval).
+func WinningPercentage(a, b []float64) (float64, error) { return eval.WinningPercentage(a, b) }
+
+// Experiment entry points (Tables I–II, Fig. 5–6, RMSE, ablations); see
+// internal/experiments for the row/point types.
+type (
+	// TableRow is one line of Table I/II.
+	TableRow = experiments.TableRow
+	// SweepPoint is one x-position of a Fig. 5 sweep.
+	SweepPoint = experiments.SweepPoint
+	// ExperimentPlanners bundles the κ_n pair used by the harness.
+	ExperimentPlanners = experiments.Planners
+)
+
+// NewExpertExperimentPlanners bundles the analytic experts as κ_n.
+func NewExpertExperimentPlanners(sc Scenario) ExperimentPlanners {
+	return experiments.ExpertPlanners(sc)
+}
+
+// NewTrainedExperimentPlanners imitation-trains the κ_n pair.
+func NewTrainedExperimentPlanners(sc Scenario, seed int64) (ExperimentPlanners, error) {
+	return experiments.TrainedPlanners(sc, seed)
+}
+
+// ReproduceTable1 regenerates Table I (conservative κ_n).
+func ReproduceTable1(pl ExperimentPlanners, n int, seed int64) ([]TableRow, error) {
+	return experiments.Table(experiments.Conservative, pl, n, seed)
+}
+
+// ReproduceTable2 regenerates Table II (aggressive κ_n).
+func ReproduceTable2(pl ExperimentPlanners, n int, seed int64) ([]TableRow, error) {
+	return experiments.Table(experiments.Aggressive, pl, n, seed)
+}
+
+// Validate sanity-checks a user-assembled simulation configuration.
+func Validate(cfg SimConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("safeplan: %w", err)
+	}
+	return nil
+}
+
+// Multi-vehicle API: the paper's system model includes messages from
+// several other vehicles (§II-A, i = 1 … n−1); these entry points run the
+// compound planner against a stream of oncoming vehicles crossing the
+// conflict zone in sequence.
+type (
+	// MultiAgent is a closed-loop decision maker over several tracked
+	// vehicles.
+	MultiAgent = core.MultiAgent
+	// MultiSimConfig extends SimConfig with the oncoming-stream layout.
+	MultiSimConfig = sim.MultiConfig
+	// MultiCompoundPlanner is the multi-vehicle κ_c.
+	MultiCompoundPlanner = core.MultiCompound
+)
+
+// DefaultMultiSimConfig returns a three-vehicle stream over the standard
+// evaluation defaults.
+func DefaultMultiSimConfig() MultiSimConfig { return sim.DefaultMultiConfig() }
+
+// BuildMultiPure wraps κ_n against the most constraining vehicle, with no
+// safety machinery.
+func BuildMultiPure(sc Scenario, kn Planner) MultiAgent {
+	return &core.MultiPure{Cfg: sc, Planner: kn}
+}
+
+// BuildMultiBasic builds the multi-vehicle basic compound planner.
+func BuildMultiBasic(sc Scenario, kn Planner) *MultiCompoundPlanner {
+	return core.NewMultiBasic(sc, kn)
+}
+
+// BuildMultiUltimate builds the multi-vehicle ultimate compound planner.
+func BuildMultiUltimate(sc Scenario, kn Planner) *MultiCompoundPlanner {
+	return core.NewMultiUltimate(sc, kn)
+}
+
+// RunMultiEpisode simulates one episode against an oncoming stream.
+func RunMultiEpisode(cfg MultiSimConfig, agent MultiAgent, seed int64) (EpisodeResult, error) {
+	return sim.RunMulti(cfg, agent, sim.Options{Seed: seed})
+}
+
+// RunMultiCampaign simulates n seed-paired episodes against oncoming
+// streams and aggregates the statistics.
+func RunMultiCampaign(cfg MultiSimConfig, agent MultiAgent, n int, baseSeed int64) (CampaignStats, error) {
+	rs, err := sim.RunManyMulti(cfg, agent, n, baseSeed)
+	if err != nil {
+		return CampaignStats{}, err
+	}
+	return eval.Aggregate(rs), nil
+}
+
+// Car-following case study (the paper's §II-A distance-gap unsafe set):
+// a second scenario instantiating the same framework, demonstrating that
+// the compound-planner construction is scenario-agnostic.
+type (
+	// CarFollowScenario is the car-following scenario configuration.
+	CarFollowScenario = carfollow.Config
+	// CarFollowSimConfig assembles a car-following campaign.
+	CarFollowSimConfig = carfollow.SimConfig
+	// CarFollowAgent is the closed-loop decision maker for car following.
+	CarFollowAgent = carfollow.Agent
+	// CarFollowPlanner is the planner abstraction for car following.
+	CarFollowPlanner = carfollow.Planner
+)
+
+// DefaultCarFollowScenario returns the car-following constants.
+func DefaultCarFollowScenario() CarFollowScenario { return carfollow.DefaultConfig() }
+
+// DefaultCarFollowSimConfig returns the car-following campaign defaults.
+func DefaultCarFollowSimConfig() CarFollowSimConfig { return carfollow.DefaultSimConfig() }
+
+// NewCarFollowConservativeExpert returns the generous-headway cruise policy.
+func NewCarFollowConservativeExpert(sc CarFollowScenario) CarFollowPlanner {
+	return carfollow.ConservativeExpert(sc)
+}
+
+// NewCarFollowAggressiveExpert returns the tailgating cruise policy.
+func NewCarFollowAggressiveExpert(sc CarFollowScenario) CarFollowPlanner {
+	return carfollow.AggressiveExpert(sc)
+}
+
+// BuildCarFollowPure wraps a car-following κ_n with no safety machinery.
+func BuildCarFollowPure(sc CarFollowScenario, kn CarFollowPlanner) CarFollowAgent {
+	return &carfollow.Pure{Cfg: sc, Planner: kn}
+}
+
+// BuildCarFollowBasic builds the basic car-following compound planner.
+func BuildCarFollowBasic(sc CarFollowScenario, kn CarFollowPlanner) CarFollowAgent {
+	return carfollow.NewBasic(sc, kn)
+}
+
+// BuildCarFollowUltimate builds the ultimate car-following compound planner.
+func BuildCarFollowUltimate(sc CarFollowScenario, kn CarFollowPlanner) CarFollowAgent {
+	return carfollow.NewUltimate(sc, kn)
+}
+
+// RunCarFollowEpisode simulates one car-following episode.
+func RunCarFollowEpisode(cfg CarFollowSimConfig, agent CarFollowAgent, seed int64) (EpisodeResult, error) {
+	return carfollow.Run(cfg, agent, seed)
+}
+
+// RunCarFollowCampaign simulates n seed-paired car-following episodes and
+// aggregates the statistics.
+func RunCarFollowCampaign(cfg CarFollowSimConfig, agent CarFollowAgent, n int, baseSeed int64) (CampaignStats, error) {
+	rs, err := carfollow.RunMany(cfg, agent, n, baseSeed)
+	if err != nil {
+		return CampaignStats{}, err
+	}
+	return eval.Aggregate(rs), nil
+}
