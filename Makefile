@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification (see ROADMAP.md).
+test: build
+	$(GO) test ./...
+
+# Full gate: vet + the whole suite under the race detector (includes the
+# concurrent-campaign telemetry tests).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -176,6 +176,40 @@ func BenchmarkEpisode(b *testing.B) {
 	}
 }
 
+// BenchmarkEpisodeNopCollector is BenchmarkEpisode with telemetry off
+// (nil collector) — it must track BenchmarkEpisode within noise, since a
+// detached collector costs exactly one nil check per probe site.
+// BenchmarkEpisodeTelemetry attaches a live Metrics collector so the two
+// together bound the cost of the instrumentation itself.
+func BenchmarkEpisodeNopCollector(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	cfg.InfoFilter = true
+	agent := BuildUltimate(cfg.Scenario, planners().Cons)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, agent, sim.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEpisodeTelemetry(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	cfg.InfoFilter = true
+	agent := BuildUltimate(cfg.Scenario, planners().Cons)
+	m := NewMetrics()
+	agent.SetCollector(m)
+	defer agent.SetCollector(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, agent, sim.Options{Seed: int64(i), Collector: m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkKalmanUpdate(b *testing.B) {
 	f := kalman.New(kalman.Config{DeltaP: 1, DeltaV: 1, DeltaA: 1})
 	f.InitExact(0, 0, 8, 0)

@@ -1,10 +1,12 @@
 // Command simulate runs one closed-loop episode of the unprotected left
-// turn and prints the outcome — optionally the full per-step trace as CSV.
+// turn — or a campaign of them — and prints the outcome, optionally the
+// full per-step trace as CSV and a telemetry metrics dump.
 //
 // Usage:
 //
 //	simulate [-planner cons|aggr] [-design pure|basic|ultimate]
 //	         [-setting none|delayed|lost] [-seed 1] [-trace]
+//	         [-episodes N] [-workers N] [-metrics text|json]
 //	         [-models DIR]   (use trained NN planners instead of the experts)
 package main
 
@@ -16,10 +18,12 @@ import (
 
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
+	"safeplan/internal/eval"
 	"safeplan/internal/experiments"
 	"safeplan/internal/planner"
 	"safeplan/internal/sensor"
 	"safeplan/internal/sim"
+	"safeplan/internal/telemetry"
 	"safeplan/internal/textio"
 )
 
@@ -27,12 +31,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("simulate: ")
 	var (
-		plKind  = flag.String("planner", "cons", "embedded planner κ_n: cons or aggr")
-		design  = flag.String("design", "ultimate", "agent design: pure, basic, or ultimate")
-		setting = flag.String("setting", "none", "communication setting: none, delayed, or lost")
-		seed    = flag.Int64("seed", 1, "episode seed")
-		trace   = flag.Bool("trace", false, "dump the per-step trace as CSV to stdout")
-		models  = flag.String("models", "", "directory with trained NN models (empty: analytic experts)")
+		plKind   = flag.String("planner", "cons", "embedded planner κ_n: cons or aggr")
+		design   = flag.String("design", "ultimate", "agent design: pure, basic, or ultimate")
+		setting  = flag.String("setting", "none", "communication setting: none, delayed, or lost")
+		seed     = flag.Int64("seed", 1, "episode seed (campaigns use seed…seed+N−1)")
+		trace    = flag.Bool("trace", false, "dump the per-step trace as CSV to stdout (single episode only)")
+		episodes = flag.Int("episodes", 1, "number of episodes (>1 runs a seed-paired campaign)")
+		workers  = flag.Int("workers", 0, "campaign worker goroutines (0: one per core)")
+		metrics  = flag.String("metrics", "", "dump telemetry metrics: text or json")
+		models   = flag.String("models", "", "directory with trained NN models (empty: analytic experts)")
 	)
 	flag.Parse()
 
@@ -78,12 +85,50 @@ func main() {
 		log.Fatalf("unknown design %q", *design)
 	}
 
-	r, err := sim.Run(cfg, agent, sim.Options{Seed: *seed, Trace: *trace})
+	var coll *telemetry.Metrics
+	switch *metrics {
+	case "":
+	case "text", "json":
+		coll = telemetry.NewMetrics()
+		// Compound agents additionally report monitor selections.
+		if ia, ok := agent.(interface{ SetCollector(telemetry.Collector) }); ok {
+			ia.SetCollector(coll)
+		}
+	default:
+		log.Fatalf("unknown -metrics format %q (want text or json)", *metrics)
+	}
+
+	fmt.Printf("agent:    %s\n", agent.Name())
+	if *episodes > 1 {
+		var c telemetry.Collector
+		if coll != nil {
+			c = coll
+		}
+		rs, err := sim.RunCampaign(cfg, agent, *episodes, sim.CampaignOptions{
+			BaseSeed:  *seed,
+			Workers:   *workers,
+			Collector: c,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := eval.Aggregate(rs)
+		fmt.Printf("setting:  %s  seeds: %d…%d\n", *setting, *seed, *seed+int64(*episodes)-1)
+		fmt.Printf("outcome:  safe %d/%d (%.2f%%), reached %d, mean η = %.4f\n",
+			st.Safe, st.N, 100*st.SafeRate(), st.Reached, st.MeanEta)
+		dumpMetrics(coll, *metrics)
+		return
+	}
+
+	var c telemetry.Collector
+	if coll != nil {
+		c = coll
+	}
+	r, err := sim.Run(cfg, agent, sim.Options{Seed: *seed, Trace: *trace, Collector: c})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("agent:    %s\n", agent.Name())
 	fmt.Printf("setting:  %s  seed: %d\n", *setting, *seed)
 	switch {
 	case r.Collided:
@@ -95,22 +140,48 @@ func main() {
 	}
 	fmt.Printf("steps:    %d, emergency steps: %d (%.2f%%)\n",
 		r.Steps, r.EmergencySteps, 100*r.EmergencyFrequency())
+	dumpMetrics(coll, *metrics)
 
 	if *trace {
-		tb := textio.NewTable("t", "ego_p", "ego_v", "ego_a", "onc_p", "onc_v",
-			"est_p", "est_v", "cons_lo", "cons_hi", "aggr_lo", "aggr_hi", "emergency")
-		for _, s := range r.Trace {
-			tb.AddRow(
-				textio.F(s.T, 2), textio.F(s.EgoP, 3), textio.F(s.EgoV, 3), textio.F(s.EgoA, 2),
-				textio.F(s.OncP, 3), textio.F(s.OncV, 3),
-				textio.F(s.EstP, 3), textio.F(s.EstV, 3),
-				textio.F(s.ConsLo, 2), textio.F(s.ConsHi, 2),
-				textio.F(s.AggrLo, 2), textio.F(s.AggrHi, 2),
-				fmt.Sprint(s.Emergency),
-			)
-		}
-		if err := tb.CSV(os.Stdout); err != nil {
+		dumpTrace(r)
+	}
+}
+
+// dumpMetrics prints the telemetry snapshot in the requested format.
+func dumpMetrics(m *telemetry.Metrics, format string) {
+	if m == nil {
+		return
+	}
+	s := m.Snapshot()
+	switch format {
+	case "json":
+		out, err := s.JSON()
+		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Println(string(out))
+	default:
+		fmt.Print("--- telemetry ---\n")
+		if err := s.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func dumpTrace(r sim.Result) {
+	tb := textio.NewTable("t", "ego_p", "ego_v", "ego_a", "onc_p", "onc_v",
+		"est_p", "est_v", "cons_lo", "cons_hi", "aggr_lo", "aggr_hi", "emergency")
+	for _, s := range r.Trace {
+		tb.AddRow(
+			textio.F(s.T, 2), textio.F(s.EgoP, 3), textio.F(s.EgoV, 3), textio.F(s.EgoA, 2),
+			textio.F(s.OncP, 3), textio.F(s.OncV, 3),
+			textio.F(s.EstP, 3), textio.F(s.EstV, 3),
+			textio.F(s.ConsLo, 2), textio.F(s.ConsHi, 2),
+			textio.F(s.AggrLo, 2), textio.F(s.AggrHi, 2),
+			fmt.Sprint(s.Emergency),
+		)
+	}
+	if err := tb.CSV(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

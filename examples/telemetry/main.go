@@ -1,0 +1,56 @@
+// Telemetry: attach a metrics collector to a campaign and dump what the
+// safety machinery actually did — how often the runtime monitor selected
+// the emergency planner κ_e (and why), how much the information filter
+// tightened the estimate over the sound one, how much passing-window
+// width the Eq. 8 aggressive estimation won back for κ_n, and how long
+// each planner decision took.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"safeplan"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	scenario := safeplan.DefaultScenario()
+	agent := safeplan.BuildUltimate(scenario, safeplan.NewAggressiveExpert(scenario))
+
+	cfg := safeplan.DefaultSimConfig()
+	cfg.Comms = safeplan.DelayedComms(0.25, 0.5)
+	cfg.InfoFilter = true
+
+	// One Metrics collector absorbs probes from every campaign worker;
+	// the ProgressFunc rides along to draw a progress line.
+	metrics := safeplan.NewMetrics()
+	progress := safeplan.ProgressFunc(func(done, total int64) {
+		if done%64 == 0 || done == total {
+			fmt.Printf("\r%d/%d episodes", done, total)
+		}
+	})
+
+	stats, err := safeplan.RunCampaign(cfg, agent, 256, 1,
+		safeplan.WithCollector(safeplan.MultiCollector(metrics, progress)),
+		safeplan.WithWorkers(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\rcampaign: safe rate %.1f%%, mean η %.3f\n\n", 100*stats.SafeRate(), stats.MeanEta)
+
+	snap := metrics.Snapshot()
+	fmt.Println("--- text dump ---")
+	fmt.Print(snap.Text())
+
+	out, err := snap.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- JSON dump ---")
+	fmt.Println(string(out))
+}

@@ -8,6 +8,7 @@ import (
 	"safeplan/internal/dynamics"
 	"safeplan/internal/mat"
 	"safeplan/internal/nn"
+	"safeplan/internal/telemetry"
 )
 
 // Planner decides the ego acceleration for car following.  The assumed
@@ -199,8 +200,16 @@ type Compound struct {
 	// Aggressive selects the buffered braking assumption for κ_n.
 	Aggressive bool
 
+	// Collector, when non-nil, receives the monitor's selection reason
+	// every control step.
+	Collector telemetry.Collector
+
 	label string
 }
+
+// SetCollector attaches a telemetry collector; part of the optional
+// instrumentation contract recognized by the public run options.
+func (c *Compound) SetCollector(tc telemetry.Collector) { c.Collector = tc }
 
 // NewBasic builds the basic compound design (monitor + κ_e only).
 func NewBasic(cfg Config, p Planner) *Compound {
@@ -223,12 +232,25 @@ func (c *Compound) Name() string {
 
 // Accel implements Agent.
 func (c *Compound) Accel(t float64, ego dynamics.State, k Knowledge) (float64, bool) {
-	if c.Cfg.InBoundarySafeSet(ego, k.Sound) || c.Cfg.InUnsafeSet(ego, k.Sound) {
+	if c.Cfg.InUnsafeSet(ego, k.Sound) {
+		c.decide(telemetry.ReasonUnsafe)
 		return c.Cfg.EmergencyAccel(ego), true
 	}
+	if c.Cfg.InBoundarySafeSet(ego, k.Sound) {
+		c.decide(telemetry.ReasonBoundary)
+		return c.Cfg.EmergencyAccel(ego), true
+	}
+	c.decide(telemetry.ReasonPlanner)
 	assumed := c.Cfg.Lead.AMin
 	if c.Aggressive {
 		assumed = c.Cfg.AggressiveAssumedBrake(k.Fused.A)
 	}
 	return c.Planner.Accel(t, ego, k.Fused, assumed), false
+}
+
+// decide reports the step's monitor selection to the collector.
+func (c *Compound) decide(reason string) {
+	if c.Collector != nil {
+		c.Collector.OnMonitorDecision(reason)
+	}
 }

@@ -2,13 +2,17 @@ package carfollow
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"safeplan/internal/comms"
 	"safeplan/internal/dynamics"
 	"safeplan/internal/fusion"
 	"safeplan/internal/sensor"
 	"safeplan/internal/sim"
+	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
 )
 
@@ -83,9 +87,16 @@ func (c SimConfig) Validate() error {
 // the left-turn study's scoring: η = −1 on a gap violation, 1/t on
 // reaching the goal, 0 on timeout.
 func Run(cfg SimConfig, agent Agent, seed int64) (sim.Result, error) {
+	return RunEpisode(cfg, agent, sim.Options{Seed: seed})
+}
+
+// RunEpisode simulates one car-following episode under the shared episode
+// options (trace recording, telemetry collector).
+func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (sim.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return sim.Result{}, err
 	}
+	seed := opts.Seed
 	horizon := cfg.Horizon
 	if horizon == 0 {
 		horizon = DefaultHorizon
@@ -130,6 +141,9 @@ func Run(cfg SimConfig, agent Agent, seed int64) (sim.Result, error) {
 
 	var res sim.Result
 	var leadA float64
+	var lastMeas *sensor.Reading
+	coll := opts.Collector
+	defer sim.ReportOutcome(coll, seed, &res)
 	dt := sc.DtC
 	maxSteps := int(horizon/dt) + 1
 	for step := 0; step < maxSteps; step++ {
@@ -142,7 +156,9 @@ func Run(cfg SimConfig, agent Agent, seed int64) (sim.Result, error) {
 			filt.OnMessage(m)
 		}
 		if at, ok := sensTick.Due(t); ok {
-			filt.OnReading(sens.Measure(1, at, lead, leadA))
+			r := sens.Measure(1, at, lead, leadA)
+			lastMeas = &r
+			filt.OnReading(r)
 		}
 
 		est := filt.EstimateAt(t)
@@ -155,9 +171,48 @@ func Run(cfg SimConfig, agent Agent, seed int64) (sim.Result, error) {
 			Fused: LeadEstimate{P: est.P, V: est.V,
 				PointP: est.PointP, PointV: est.PointV, A: est.A},
 		}
-		a0, emergency := agent.Accel(t, ego, k)
+		var a0 float64
+		var emergency bool
+		if coll != nil {
+			start := time.Now()
+			a0, emergency = agent.Accel(t, ego, k)
+			coll.OnStep(telemetry.StepProbe{
+				T:          t,
+				Emergency:  emergency,
+				SoundWidth: est.SoundP.Width(),
+				FusedWidth: est.P.Width(),
+				PlannerNs:  time.Since(start).Nanoseconds(),
+			})
+		} else {
+			a0, emergency = agent.Accel(t, ego, k)
+		}
 		if emergency {
 			res.EmergencySteps++
+		}
+
+		if opts.Trace {
+			// Reuse the shared sample layout: the lead plays the oncoming
+			// vehicle's role, and the passing-window columns are NaN (car
+			// following has no crossing window).
+			s := sim.Sample{
+				T:    t,
+				EgoP: ego.P, EgoV: ego.V, EgoA: a0,
+				OncP: lead.P, OncV: lead.V, OncA: leadA,
+				MeasP: math.NaN(), MeasV: math.NaN(),
+				EstP: est.PointP, EstV: est.PointV,
+				EstPLo: est.P.Lo, EstPHi: est.P.Hi,
+				EstVLo: est.V.Lo, EstVHi: est.V.Hi,
+				SoundPLo: est.SoundP.Lo, SoundPHi: est.SoundP.Hi,
+				SoundVLo: est.SoundV.Lo, SoundVHi: est.SoundV.Hi,
+				SoundLo: math.NaN(), SoundHi: math.NaN(),
+				ConsLo: math.NaN(), ConsHi: math.NaN(),
+				AggrLo: math.NaN(), AggrHi: math.NaN(),
+				Emergency: emergency,
+			}
+			if lastMeas != nil {
+				s.MeasP, s.MeasV = lastMeas.P, lastMeas.V
+			}
+			res.Trace = append(res.Trace, s)
 		}
 
 		ba := driver.Accel(t, lead)
@@ -180,8 +235,12 @@ func Run(cfg SimConfig, agent Agent, seed int64) (sim.Result, error) {
 	return res, nil
 }
 
-// RunMany simulates n seed-paired episodes in parallel.
-func RunMany(cfg SimConfig, agent Agent, n int, baseSeed int64) ([]sim.Result, error) {
+// RunCampaign simulates n seed-paired car-following episodes with the
+// shared campaign options (worker bound, telemetry collector).
+func RunCampaign(cfg SimConfig, agent Agent, n int, o sim.CampaignOptions) ([]sim.Result, error) {
+	if o.Workers < 0 {
+		return nil, fmt.Errorf("carfollow: worker count %d must be >= 1 (0 selects GOMAXPROCS)", o.Workers)
+	}
 	if n <= 0 {
 		return nil, fmt.Errorf("carfollow: non-positive episode count %d", n)
 	}
@@ -190,8 +249,12 @@ func RunMany(cfg SimConfig, agent Agent, n int, baseSeed int64) ([]sim.Result, e
 	}
 	results := make([]sim.Result, n)
 	errs := make([]error, n)
-	sim.ParallelFor(n, func(i int) {
-		results[i], errs[i] = Run(cfg, agent, baseSeed+int64(i))
+	var done atomic.Int64
+	sim.ParallelForWorkers(o.Workers, n, func(i int) {
+		results[i], errs[i] = RunEpisode(cfg, agent, sim.Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector})
+		if o.Collector != nil {
+			o.Collector.OnProgress(done.Add(1), int64(n))
+		}
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -199,4 +262,11 @@ func RunMany(cfg SimConfig, agent Agent, n int, baseSeed int64) ([]sim.Result, e
 		}
 	}
 	return results, nil
+}
+
+// RunMany simulates n seed-paired episodes in parallel with no telemetry.
+//
+// Deprecated: use RunCampaign.
+func RunMany(cfg SimConfig, agent Agent, n int, baseSeed int64) ([]sim.Result, error) {
+	return RunCampaign(cfg, agent, n, sim.CampaignOptions{BaseSeed: baseSeed})
 }

@@ -20,6 +20,7 @@ import (
 	"safeplan/internal/leftturn"
 	"safeplan/internal/monitor"
 	"safeplan/internal/planner"
+	"safeplan/internal/telemetry"
 )
 
 // Knowledge is what the information filter delivers each control step:
@@ -83,8 +84,17 @@ type Compound struct {
 	// unsafe set; it exists for the ablation study only.
 	MonitorOnFused bool
 
+	// Collector, when non-nil, receives the monitor's selection reason
+	// every control step (telemetry.ReasonPlanner when κ_n keeps
+	// control).  Shared campaign collectors must be concurrency-safe.
+	Collector telemetry.Collector
+
 	label string
 }
+
+// SetCollector attaches a telemetry collector; part of the optional
+// instrumentation contract recognized by the public run options.
+func (c *Compound) SetCollector(tc telemetry.Collector) { c.Collector = tc }
 
 // NewBasic builds the basic compound design of the evaluation: runtime
 // monitor and emergency planner only (κ_cb).  Pair it with a fusion filter
@@ -131,6 +141,13 @@ func (c *Compound) Accel(t float64, ego dynamics.State, k Knowledge) (float64, b
 	}
 	wSound := c.Cfg.ConservativeWindow(monEst)
 	verdict := c.Monitor.Assess(ego, wSound)
+	if c.Collector != nil {
+		reason := verdict.Reason
+		if !verdict.Emergency {
+			reason = telemetry.ReasonPlanner
+		}
+		c.Collector.OnMonitorDecision(reason)
+	}
 	if verdict.Emergency {
 		return c.Cfg.EmergencyAccel(ego), true
 	}

@@ -8,6 +8,7 @@ import (
 	"safeplan/internal/leftturn"
 	"safeplan/internal/monitor"
 	"safeplan/internal/planner"
+	"safeplan/internal/telemetry"
 )
 
 // MultiAgent is the multi-vehicle counterpart of Agent: the paper's system
@@ -78,7 +79,22 @@ type MultiCompound struct {
 	// input, as in the single-vehicle Compound.
 	AggressiveSet bool
 
+	// Collector, when non-nil, receives the combined monitor selection
+	// (over all tracked vehicles) every control step.
+	Collector telemetry.Collector
+
 	label string
+}
+
+// SetCollector attaches a telemetry collector; part of the optional
+// instrumentation contract recognized by the public run options.
+func (c *MultiCompound) SetCollector(tc telemetry.Collector) { c.Collector = tc }
+
+// decide reports the step's combined monitor selection to the collector.
+func (c *MultiCompound) decide(reason string) {
+	if c.Collector != nil {
+		c.Collector.OnMonitorDecision(reason)
+	}
 }
 
 // NewMultiBasic builds the multi-vehicle basic compound design.
@@ -119,6 +135,7 @@ func (c *MultiCompound) Accel(t float64, ego dynamics.State, ks []Knowledge) (fl
 		w := c.Cfg.ConservativeWindow(k.Sound)
 		verdict := c.Monitor.Assess(ego, w)
 		if verdict.Emergency {
+			c.decide(verdict.Reason)
 			return c.Cfg.EmergencyAccel(ego), true
 		}
 		if verdict.HasFloor && verdict.Floor > floor {
@@ -131,8 +148,10 @@ func (c *MultiCompound) Accel(t float64, ego dynamics.State, ks []Knowledge) (fl
 	if hasFloor && hasCeil && floor > ceil {
 		// Incompatible commitments (must out-run one vehicle but wait for
 		// another): fall back to κ_e, which resolves by feasibility.
+		c.decide(telemetry.ReasonInfeasible)
 		return c.Cfg.EmergencyAccel(ego), true
 	}
+	c.decide(telemetry.ReasonPlanner)
 
 	ws := make([]interval.Interval, len(ks))
 	for i, k := range ks {

@@ -4,20 +4,46 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"safeplan/internal/core"
+	"safeplan/internal/telemetry"
 )
 
-// RunMany simulates n episodes of agent under cfg with master seeds
-// baseSeed, baseSeed+1, …, baseSeed+n−1, fanning the work across CPU
-// cores.  Results are returned in seed order so campaigns of different
-// agents over the same seeds are pairwise comparable (same C1 behaviour,
-// same channel and sensor noise).
+// CampaignOptions selects campaign-level behaviour shared by the
+// left-turn, multi-vehicle, and car-following campaign runners.
+type CampaignOptions struct {
+	// BaseSeed seeds episode i with BaseSeed+i.
+	BaseSeed int64
+	// Workers bounds the number of concurrent episode goroutines; 0
+	// selects GOMAXPROCS.  Negative counts are rejected by the runners.
+	Workers int
+	// Collector receives telemetry from every episode plus campaign
+	// progress.  It is shared across workers and must be
+	// concurrency-safe.
+	Collector telemetry.Collector
+}
+
+func (o CampaignOptions) validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("sim: worker count %d must be >= 1 (0 selects GOMAXPROCS)", o.Workers)
+	}
+	return nil
+}
+
+// RunCampaign simulates n episodes of agent under cfg with master seeds
+// BaseSeed, BaseSeed+1, …, BaseSeed+n−1, fanning the work across
+// o.Workers goroutines.  Results are returned in seed order so campaigns
+// of different agents over the same seeds are pairwise comparable (same
+// C1 behaviour, same channel and sensor noise).
 //
 // The agent must be stateless across episodes (every agent in this
 // repository is); per-episode state (filters, channels, drivers) is
 // created inside Run.
-func RunMany(cfg Config, agent core.Agent, n int, baseSeed int64) ([]Result, error) {
+func RunCampaign(cfg Config, agent core.Agent, n int, o CampaignOptions) ([]Result, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: non-positive episode count %d", n)
 	}
@@ -26,8 +52,12 @@ func RunMany(cfg Config, agent core.Agent, n int, baseSeed int64) ([]Result, err
 	}
 	results := make([]Result, n)
 	errs := make([]error, n)
-	ParallelFor(n, func(i int) {
-		results[i], errs[i] = Run(cfg, agent, Options{Seed: baseSeed + int64(i)})
+	var done atomic.Int64
+	ParallelForWorkers(o.Workers, n, func(i int) {
+		results[i], errs[i] = Run(cfg, agent, Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector})
+		if o.Collector != nil {
+			o.Collector.OnProgress(done.Add(1), int64(n))
+		}
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -37,11 +67,22 @@ func RunMany(cfg Config, agent core.Agent, n int, baseSeed int64) ([]Result, err
 	return results, nil
 }
 
-// ParallelFor runs f(0) … f(n−1) across GOMAXPROCS workers and waits for
-// completion.  f must only write to index-disjoint state.  It is exported
-// for the sibling scenario packages' campaign runners.
-func ParallelFor(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+// RunMany simulates n episodes over seeds baseSeed…baseSeed+n−1 with one
+// goroutine per core and no telemetry.
+//
+// Deprecated: use RunCampaign, which adds the worker-count knob and a
+// telemetry collector.
+func RunMany(cfg Config, agent core.Agent, n int, baseSeed int64) ([]Result, error) {
+	return RunCampaign(cfg, agent, n, CampaignOptions{BaseSeed: baseSeed})
+}
+
+// ParallelForWorkers runs f(0) … f(n−1) across the given number of
+// goroutines (0 selects GOMAXPROCS) and waits for completion.  f must
+// only write to index-disjoint state.
+func ParallelForWorkers(workers, n int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -62,3 +103,8 @@ func ParallelFor(n int, f func(i int)) {
 	close(next)
 	wg.Wait()
 }
+
+// ParallelFor runs f(0) … f(n−1) across GOMAXPROCS workers and waits for
+// completion.  It is exported for the sibling scenario packages' campaign
+// runners.
+func ParallelFor(n int, f func(i int)) { ParallelForWorkers(0, n, f) }

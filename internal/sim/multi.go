@@ -3,13 +3,17 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
 	"safeplan/internal/dynamics"
 	"safeplan/internal/fusion"
+	"safeplan/internal/interval"
 	"safeplan/internal/leftturn"
 	"safeplan/internal/sensor"
+	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
 )
 
@@ -129,6 +133,8 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, err
 	sensTick.Due(0)
 
 	var res Result
+	coll := opts.Collector
+	defer ReportOutcome(coll, opts.Seed, &res)
 	dt := sc.DtC
 	maxSteps := int(horizon/dt) + 1
 	ks := make([]core.Knowledge, len(tracks))
@@ -163,7 +169,15 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, err
 			}
 		}
 
-		a0, emergency := agent.Accel(t, ego, ks)
+		var a0 float64
+		var emergency bool
+		if coll != nil {
+			start := time.Now()
+			a0, emergency = agent.Accel(t, ego, ks)
+			coll.OnStep(multiStepProbe(sc, t, emergency, ks, time.Since(start).Nanoseconds()))
+		} else {
+			a0, emergency = agent.Accel(t, ego, ks)
+		}
 		if emergency {
 			res.EmergencySteps++
 		}
@@ -192,9 +206,35 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, err
 	return res, nil
 }
 
-// RunManyMulti is the campaign counterpart of RunMulti (seed-paired, one
-// goroutine per core).
-func RunManyMulti(cfg MultiConfig, agent core.MultiAgent, n int, baseSeed int64) ([]Result, error) {
+// multiStepProbe condenses the per-vehicle knowledge into one telemetry
+// probe: the estimate widths report the worst-tracked (widest) vehicle,
+// and the window widths report the most constraining window — exactly the
+// one handed to κ_n.
+func multiStepProbe(sc leftturn.Config, t float64, emergency bool, ks []core.Knowledge, plannerNs int64) telemetry.StepProbe {
+	p := telemetry.StepProbe{T: t, Emergency: emergency, PlannerNs: plannerNs}
+	cons := make([]interval.Interval, len(ks))
+	aggr := make([]interval.Interval, len(ks))
+	for i, k := range ks {
+		if w := k.Sound.P.Width(); w > p.SoundWidth {
+			p.SoundWidth = w
+		}
+		if w := k.Fused.P.Width(); w > p.FusedWidth {
+			p.FusedWidth = w
+		}
+		cons[i] = sc.ConservativeWindow(k.Fused)
+		aggr[i] = sc.AggressiveWindow(k.Fused)
+	}
+	p.ConsWidth = core.MostConstrainingWindow(cons).Width()
+	p.AggrWidth = core.MostConstrainingWindow(aggr).Width()
+	return p
+}
+
+// RunMultiCampaign simulates n seed-paired multi-vehicle episodes with
+// the campaign options (worker bound, shared telemetry collector).
+func RunMultiCampaign(cfg MultiConfig, agent core.MultiAgent, n int, o CampaignOptions) ([]Result, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: non-positive episode count %d", n)
 	}
@@ -203,8 +243,12 @@ func RunManyMulti(cfg MultiConfig, agent core.MultiAgent, n int, baseSeed int64)
 	}
 	results := make([]Result, n)
 	errs := make([]error, n)
-	ParallelFor(n, func(i int) {
-		results[i], errs[i] = RunMulti(cfg, agent, Options{Seed: baseSeed + int64(i)})
+	var done atomic.Int64
+	ParallelForWorkers(o.Workers, n, func(i int) {
+		results[i], errs[i] = RunMulti(cfg, agent, Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector})
+		if o.Collector != nil {
+			o.Collector.OnProgress(done.Add(1), int64(n))
+		}
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -212,4 +256,12 @@ func RunManyMulti(cfg MultiConfig, agent core.MultiAgent, n int, baseSeed int64)
 		}
 	}
 	return results, nil
+}
+
+// RunManyMulti is the campaign counterpart of RunMulti (seed-paired, one
+// goroutine per core, no telemetry).
+//
+// Deprecated: use RunMultiCampaign.
+func RunManyMulti(cfg MultiConfig, agent core.MultiAgent, n int, baseSeed int64) ([]Result, error) {
+	return RunMultiCampaign(cfg, agent, n, CampaignOptions{BaseSeed: baseSeed})
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
@@ -16,6 +17,7 @@ import (
 	"safeplan/internal/fusion"
 	"safeplan/internal/leftturn"
 	"safeplan/internal/sensor"
+	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
 )
 
@@ -158,6 +160,32 @@ func (r Result) EmergencyFrequency() float64 {
 type Options struct {
 	Seed  int64 // master seed; every random stream derives from it
 	Trace bool  // record per-step samples
+
+	// Collector receives telemetry probes (per-step, per-episode).  Nil
+	// disables telemetry: the loop then pays one nil-check per probe
+	// site and skips the wall-clock reads entirely.  Campaign runners
+	// share one collector across workers, so it must be concurrency-safe
+	// (telemetry.Metrics is).
+	Collector telemetry.Collector
+}
+
+// ReportOutcome forwards a finished episode to the collector (a no-op on
+// a nil collector).  It is exported for the sibling scenario packages'
+// runners.
+func ReportOutcome(c telemetry.Collector, seed int64, r *Result) {
+	if c == nil {
+		return
+	}
+	c.OnEpisode(telemetry.EpisodeOutcome{
+		Seed:                seed,
+		Reached:             r.Reached,
+		Collided:            r.Collided,
+		Eta:                 r.Eta,
+		ReachTime:           r.ReachTime,
+		Steps:               r.Steps,
+		EmergencySteps:      r.EmergencySteps,
+		SoundnessViolations: r.SoundnessViolations,
+	})
 }
 
 // Run simulates one episode of agent under cfg and returns its Result.
@@ -223,6 +251,9 @@ func Run(cfg Config, agent core.Agent, opts Options) (Result, error) {
 	var oncA float64
 	var lastMeas *sensor.Reading
 
+	coll := opts.Collector
+	defer ReportOutcome(coll, opts.Seed, &res)
+
 	dt := sc.DtC
 	maxSteps := int(horizon/dt) + 1
 	for step := 0; step < maxSteps; step++ {
@@ -262,7 +293,23 @@ func Run(cfg Config, agent core.Agent, opts Options) (Result, error) {
 				A: est.A,
 			},
 		}
-		a0, emergency := agent.Accel(t, ego, know)
+		var a0 float64
+		var emergency bool
+		if coll != nil {
+			start := time.Now()
+			a0, emergency = agent.Accel(t, ego, know)
+			coll.OnStep(telemetry.StepProbe{
+				T:          t,
+				Emergency:  emergency,
+				SoundWidth: est.SoundP.Width(),
+				FusedWidth: est.P.Width(),
+				ConsWidth:  sc.ConservativeWindow(know.Fused).Width(),
+				AggrWidth:  sc.AggressiveWindow(know.Fused).Width(),
+				PlannerNs:  time.Since(start).Nanoseconds(),
+			})
+		} else {
+			a0, emergency = agent.Accel(t, ego, know)
+		}
 		if emergency {
 			res.EmergencySteps++
 		}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 with atomic Add/Min/Max via CAS on the bit
+// pattern.  The zero value is 0.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Min(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Max(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket, lock-free histogram: bucket i counts
+// observations v with v <= Bounds[i] (and v > Bounds[i-1]); one overflow
+// bucket counts v > Bounds[len-1].  Observe is wait-free on the bucket
+// counters, so one histogram can absorb probes from every campaign
+// worker without contention beyond cache-line traffic.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+
+	count atomic.Int64
+	sum   atomicFloat
+	min   atomicFloat
+	max   atomicFloat
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.Inf(1))
+	h.max.Store(math.Inf(-1))
+	return h
+}
+
+// Observe records one value.  Non-finite values are ignored (an empty
+// interval has no meaningful width; a NaN latency is a bug upstream).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.min.Min(v)
+	h.max.Max(v)
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, shaped for
+// JSON encoding.  Buckets[i] counts observations ≤ Bounds[i]; the last
+// bucket (len(Bounds)) is the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+	Count   int64     `json:"count"`
+	Mean    float64   `json:"mean"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+}
+
+// Snapshot copies the histogram's current state.  Concurrent Observe
+// calls may land between field reads; each field is individually
+// consistent, which is all a monitoring dump needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: make([]int64, len(h.buckets)),
+		Count:   h.count.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	if s.Count > 0 {
+		s.Mean = h.sum.Load() / float64(s.Count)
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	return s
+}

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Default histogram bucket bounds.  Interval widths are metres (position)
+// and seconds (windows); planner latency is nanoseconds.
+var (
+	// DefaultWidthBounds buckets estimate/window widths: sub-metre
+	// precision at the tight end, coarse at the reachability-blowup end.
+	DefaultWidthBounds = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64}
+	// DefaultLatencyBounds buckets planner decision latency [ns]:
+	// 1 µs … 10 ms.
+	DefaultLatencyBounds = []float64{1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6, 1e7}
+)
+
+// knownReasons indexes the fixed monitor-decision counters; anything else
+// lands in reasonOther (future-proofing for scenario-specific reasons).
+var knownReasons = []string{ReasonPlanner, ReasonBoundary, ReasonUnsafe, ReasonHold, ReasonInfeasible}
+
+const reasonOther = "other"
+
+// Metrics is the standard Collector: atomic counters and fixed-bucket
+// histograms, safe to share across every worker of a parallel campaign.
+// The zero value is not usable; call NewMetrics.
+type Metrics struct {
+	steps     atomic.Int64
+	emergency atomic.Int64
+
+	episodes  atomic.Int64
+	reached   atomic.Int64
+	collided  atomic.Int64
+	timeouts  atomic.Int64
+	soundViol atomic.Int64
+	etaSum    atomicFloat
+
+	reasons [6]atomic.Int64 // knownReasons order, then reasonOther
+
+	soundWidth *Histogram
+	fusedWidth *Histogram
+	consWidth  *Histogram
+	aggrWidth  *Histogram
+	latency    *Histogram
+
+	done, total atomic.Int64
+}
+
+// NewMetrics returns an empty Metrics collector with the default bucket
+// layout.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		soundWidth: NewHistogram(DefaultWidthBounds...),
+		fusedWidth: NewHistogram(DefaultWidthBounds...),
+		consWidth:  NewHistogram(DefaultWidthBounds...),
+		aggrWidth:  NewHistogram(DefaultWidthBounds...),
+		latency:    NewHistogram(DefaultLatencyBounds...),
+	}
+}
+
+// OnStep implements Collector.
+func (m *Metrics) OnStep(p StepProbe) {
+	m.steps.Add(1)
+	if p.Emergency {
+		m.emergency.Add(1)
+	}
+	m.soundWidth.Observe(p.SoundWidth)
+	m.fusedWidth.Observe(p.FusedWidth)
+	m.consWidth.Observe(p.ConsWidth)
+	m.aggrWidth.Observe(p.AggrWidth)
+	if p.PlannerNs > 0 {
+		m.latency.Observe(float64(p.PlannerNs))
+	}
+}
+
+// OnMonitorDecision implements Collector.
+func (m *Metrics) OnMonitorDecision(reason string) {
+	for i, r := range knownReasons {
+		if reason == r {
+			m.reasons[i].Add(1)
+			return
+		}
+	}
+	m.reasons[len(knownReasons)].Add(1)
+}
+
+// OnEpisode implements Collector.
+func (m *Metrics) OnEpisode(o EpisodeOutcome) {
+	m.episodes.Add(1)
+	switch {
+	case o.Collided:
+		m.collided.Add(1)
+	case o.Reached:
+		m.reached.Add(1)
+	default:
+		m.timeouts.Add(1)
+	}
+	m.soundViol.Add(int64(o.SoundnessViolations))
+	m.etaSum.Add(o.Eta)
+}
+
+// OnProgress implements Collector.
+func (m *Metrics) OnProgress(done, total int64) {
+	m.done.Store(done)
+	m.total.Store(total)
+}
+
+// Progress returns the campaign progress last reported to the collector.
+// It reads two atomics and allocates nothing, so a UI goroutine can poll
+// it at any rate while the campaign runs.
+func (m *Metrics) Progress() (done, total int64) {
+	return m.done.Load(), m.total.Load()
+}
+
+// Snapshot is a point-in-time copy of a Metrics collector, encodable as
+// JSON and renderable as text.
+type Snapshot struct {
+	Episodes int64 `json:"episodes"`
+	Reached  int64 `json:"reached"`
+	Collided int64 `json:"collided"`
+	Timeouts int64 `json:"timeouts"`
+
+	MeanEta             float64 `json:"mean_eta"`
+	Steps               int64   `json:"steps"`
+	EmergencySteps      int64   `json:"emergency_steps"`
+	EmergencyRate       float64 `json:"emergency_rate"`
+	SoundnessViolations int64   `json:"soundness_violations"`
+
+	// MonitorReasons counts runtime-monitor selections by reason ("kn"
+	// when the embedded planner kept control).  Empty for pure agents,
+	// which bypass the monitor entirely.
+	MonitorReasons map[string]int64 `json:"monitor_reasons,omitempty"`
+
+	SoundWidth     HistogramSnapshot `json:"sound_width_m"`
+	FusedWidth     HistogramSnapshot `json:"fused_width_m"`
+	ConsWidth      HistogramSnapshot `json:"cons_window_s"`
+	AggrWidth      HistogramSnapshot `json:"aggr_window_s"`
+	PlannerLatency HistogramSnapshot `json:"planner_latency_ns"`
+
+	ProgressDone  int64 `json:"progress_done"`
+	ProgressTotal int64 `json:"progress_total"`
+}
+
+// Snapshot copies the collector's current state.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Episodes:            m.episodes.Load(),
+		Reached:             m.reached.Load(),
+		Collided:            m.collided.Load(),
+		Timeouts:            m.timeouts.Load(),
+		Steps:               m.steps.Load(),
+		EmergencySteps:      m.emergency.Load(),
+		SoundnessViolations: m.soundViol.Load(),
+		SoundWidth:          m.soundWidth.Snapshot(),
+		FusedWidth:          m.fusedWidth.Snapshot(),
+		ConsWidth:           m.consWidth.Snapshot(),
+		AggrWidth:           m.aggrWidth.Snapshot(),
+		PlannerLatency:      m.latency.Snapshot(),
+		ProgressDone:        m.done.Load(),
+		ProgressTotal:       m.total.Load(),
+	}
+	if s.Episodes > 0 {
+		s.MeanEta = m.etaSum.Load() / float64(s.Episodes)
+	}
+	if s.Steps > 0 {
+		s.EmergencyRate = float64(s.EmergencySteps) / float64(s.Steps)
+	}
+	for i, r := range knownReasons {
+		if n := m.reasons[i].Load(); n > 0 {
+			if s.MonitorReasons == nil {
+				s.MonitorReasons = make(map[string]int64)
+			}
+			s.MonitorReasons[r] = n
+		}
+	}
+	if n := m.reasons[len(knownReasons)].Load(); n > 0 {
+		if s.MonitorReasons == nil {
+			s.MonitorReasons = make(map[string]int64)
+		}
+		s.MonitorReasons[reasonOther] = n
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// WriteText renders a human-readable metrics dump.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "episodes:        %d (reached %d, collided %d, timeout %d)\n",
+		s.Episodes, s.Reached, s.Collided, s.Timeouts)
+	fmt.Fprintf(&b, "mean eta:        %.4f\n", s.MeanEta)
+	fmt.Fprintf(&b, "steps:           %d, emergency %d (%.2f%%)\n",
+		s.Steps, s.EmergencySteps, 100*s.EmergencyRate)
+	fmt.Fprintf(&b, "soundness viol.: %d\n", s.SoundnessViolations)
+	if len(s.MonitorReasons) > 0 {
+		keys := make([]string, 0, len(s.MonitorReasons))
+		for k := range s.MonitorReasons {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("monitor:        ")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, s.MonitorReasons[k])
+		}
+		b.WriteByte('\n')
+	}
+	writeHist(&b, "sound width [m]", s.SoundWidth, 1)
+	writeHist(&b, "fused width [m]", s.FusedWidth, 1)
+	writeHist(&b, "cons window [s]", s.ConsWidth, 1)
+	writeHist(&b, "aggr window [s]", s.AggrWidth, 1)
+	writeHist(&b, "planner [µs]", s.PlannerLatency, 1e-3)
+	if s.ProgressTotal > 0 {
+		fmt.Fprintf(&b, "progress:        %d/%d\n", s.ProgressDone, s.ProgressTotal)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Text renders the snapshot as a string (WriteText into a buffer).
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	_ = s.WriteText(&b)
+	return b.String()
+}
+
+// writeHist prints one histogram line; scale converts the native unit for
+// display (e.g. ns → µs).
+func writeHist(b *strings.Builder, label string, h HistogramSnapshot, scale float64) {
+	if h.Count == 0 {
+		return
+	}
+	fmt.Fprintf(b, "%-16s n=%d mean=%.3g min=%.3g max=%.3g\n",
+		label+":", h.Count, h.Mean*scale, h.Min*scale, h.Max*scale)
+}

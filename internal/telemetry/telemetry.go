@@ -1,0 +1,174 @@
+// Package telemetry is the engine's observability layer: a pluggable,
+// allocation-light collector interface that the simulation loops
+// (internal/sim, internal/carfollow) and the compound planners
+// (internal/core) feed with per-step probes, per-episode outcomes,
+// monitor decisions, and campaign progress.
+//
+// The design follows the run-time-monitoring literature's demand that a
+// safety filter's interventions be *observable*: the paper's evaluation
+// hinges on how often the monitor selects κ_e over κ_n, how tight the
+// fused estimate is compared to the sound one, and how much room the
+// Eq. 8 aggressive window wins over the conservative one — data the
+// engine computes every control step and, before this package, threw
+// away.
+//
+// Probes are plain value structs (no allocation per call) and the engine
+// pays exactly one nil-check per probe site when telemetry is off; the
+// standard Metrics collector uses atomics throughout so one collector
+// can be shared by every worker of a parallel campaign.
+package telemetry
+
+// Monitor selection reasons, as reported by the compound planners via
+// Collector.OnMonitorDecision.  The emergency reasons mirror the string
+// constants of internal/monitor's Outcome.Reason.
+const (
+	// ReasonPlanner means the embedded planner κ_n kept control.
+	ReasonPlanner = "kn"
+	// ReasonBoundary: the state entered the boundary safe set X_b (Eq. 3).
+	ReasonBoundary = "boundary"
+	// ReasonUnsafe: the (inflated) window test reported the unsafe set.
+	ReasonUnsafe = "unsafe"
+	// ReasonHold: a stopped ego near the front line is held by κ_e.
+	ReasonHold = "hold"
+	// ReasonInfeasible: commitment guards conflict; κ_e resolves.
+	ReasonInfeasible = "infeasible-commit"
+)
+
+// StepProbe is one control step's observability payload.  It is passed by
+// value, so collecting it never allocates.
+type StepProbe struct {
+	// T is the simulation time of the step [s].
+	T float64
+	// Emergency is true when κ_e produced the command this step.
+	Emergency bool
+
+	// SoundWidth is the sound position-interval width [m] — the estimate
+	// the runtime monitor consumes.
+	SoundWidth float64
+	// FusedWidth is the fused (Kalman-joined) position-interval width [m]
+	// — the estimate the embedded planner consumes.  The gap between the
+	// two is the information filter's contribution.
+	FusedWidth float64
+
+	// ConsWidth and AggrWidth are the conservative and aggressive
+	// passing-window widths [s]; their difference is the Eq. 8
+	// aggressive-estimation gap handed to κ_n.  Zero when the scenario
+	// has no passing-window notion (car following).
+	ConsWidth float64
+	AggrWidth float64
+
+	// PlannerNs is the wall-clock latency of the agent's decision [ns].
+	PlannerNs int64
+}
+
+// EpisodeOutcome is the scored result of one finished episode.
+type EpisodeOutcome struct {
+	Seed                int64
+	Reached             bool
+	Collided            bool
+	Eta                 float64
+	ReachTime           float64
+	Steps               int
+	EmergencySteps      int
+	SoundnessViolations int
+}
+
+// Collector receives probes from the simulation engine.  Implementations
+// MUST be safe for concurrent use: parallel campaigns share one collector
+// across all workers.  Embed Nop to implement only the probes you need.
+type Collector interface {
+	// OnStep observes one control step of a running episode.
+	OnStep(p StepProbe)
+	// OnMonitorDecision observes one runtime-monitor selection: one of
+	// the Reason* constants (ReasonPlanner when κ_n kept control).  It is
+	// reported by the compound planners, so pure agents never call it.
+	OnMonitorDecision(reason string)
+	// OnEpisode observes one finished episode.
+	OnEpisode(o EpisodeOutcome)
+	// OnProgress observes campaign progress: done of total episodes have
+	// finished.  Called once per completed episode, from worker
+	// goroutines, with done strictly increasing per collector.
+	OnProgress(done, total int64)
+}
+
+// Nop is a Collector that ignores every probe.  Embed it to implement
+// partial collectors.
+type Nop struct{}
+
+// OnStep implements Collector.
+func (Nop) OnStep(StepProbe) {}
+
+// OnMonitorDecision implements Collector.
+func (Nop) OnMonitorDecision(string) {}
+
+// OnEpisode implements Collector.
+func (Nop) OnEpisode(EpisodeOutcome) {}
+
+// OnProgress implements Collector.
+func (Nop) OnProgress(int64, int64) {}
+
+// ProgressFunc adapts a callback to a Collector that only observes
+// campaign progress (e.g. to drive a console progress line).
+type ProgressFunc func(done, total int64)
+
+// OnStep implements Collector.
+func (ProgressFunc) OnStep(StepProbe) {}
+
+// OnMonitorDecision implements Collector.
+func (ProgressFunc) OnMonitorDecision(string) {}
+
+// OnEpisode implements Collector.
+func (ProgressFunc) OnEpisode(EpisodeOutcome) {}
+
+// OnProgress implements Collector.
+func (f ProgressFunc) OnProgress(done, total int64) { f(done, total) }
+
+// multi fans every probe out to several collectors.
+type multi []Collector
+
+// Multi bundles several collectors into one (e.g. Metrics plus a
+// ProgressFunc).  Nil members are dropped; a bundle of zero or one
+// collector collapses to that collector.
+func Multi(cs ...Collector) Collector {
+	kept := make(multi, 0, len(cs))
+	for _, c := range cs {
+		if c != nil {
+			kept = append(kept, c)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return Nop{}
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+// OnStep implements Collector.
+func (m multi) OnStep(p StepProbe) {
+	for _, c := range m {
+		c.OnStep(p)
+	}
+}
+
+// OnMonitorDecision implements Collector.
+func (m multi) OnMonitorDecision(reason string) {
+	for _, c := range m {
+		c.OnMonitorDecision(reason)
+	}
+}
+
+// OnEpisode implements Collector.
+func (m multi) OnEpisode(o EpisodeOutcome) {
+	for _, c := range m {
+		c.OnEpisode(o)
+	}
+}
+
+// OnProgress implements Collector.
+func (m multi) OnProgress(done, total int64) {
+	for _, c := range m {
+		c.OnProgress(done, total)
+	}
+}

@@ -1,0 +1,193 @@
+package safeplan
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWithTraceMatchesLegacy proves the options form reproduces the
+// legacy traced entry point byte-for-byte on a fixed seed.
+func TestWithTraceMatchesLegacy(t *testing.T) {
+	sc := DefaultScenario()
+	cfg := DefaultSimConfig()
+	cfg.Comms = DelayedComms(0.25, 0.3)
+	cfg.InfoFilter = true
+	agent := BuildUltimate(sc, NewConservativeExpert(sc))
+
+	legacy, err := RunEpisodeTraced(cfg, agent, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := RunEpisode(cfg, agent, 42, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// %#v is a deterministic full serialization and, unlike JSON, survives
+	// the NaN window bounds recorded on steps with no feasible window.
+	lb := []byte(fmt.Sprintf("%#v", legacy))
+	ob := []byte(fmt.Sprintf("%#v", opt))
+	if !bytes.Equal(lb, ob) {
+		t.Fatalf("WithTrace() diverges from RunEpisodeTraced:\nlegacy: %s\noption: %s", lb, ob)
+	}
+	if len(opt.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+}
+
+func TestWithWorkersValidation(t *testing.T) {
+	sc := DefaultScenario()
+	cfg := DefaultSimConfig()
+	agent := BuildPure(sc, NewConservativeExpert(sc))
+	for _, n := range []int{0, -3} {
+		_, err := RunCampaign(cfg, agent, 4, 1, WithWorkers(n))
+		if err == nil {
+			t.Fatalf("WithWorkers(%d) accepted", n)
+		}
+		if !strings.HasPrefix(err.Error(), "safeplan:") {
+			t.Errorf("error not safeplan-prefixed: %v", err)
+		}
+	}
+	if _, err := RunCampaign(cfg, agent, 4, 1, WithWorkers(2)); err != nil {
+		t.Fatalf("WithWorkers(2) rejected: %v", err)
+	}
+}
+
+// TestErrorsArePrefixed checks the satellite guarantee that every public
+// entry point wraps internal errors with the "safeplan:" prefix.
+func TestErrorsArePrefixed(t *testing.T) {
+	sc := DefaultScenario()
+	bad := DefaultSimConfig()
+	bad.DtM = -1
+	agent := BuildPure(sc, NewConservativeExpert(sc))
+
+	if _, err := RunEpisode(bad, agent, 1); err == nil || !strings.HasPrefix(err.Error(), "safeplan:") {
+		t.Errorf("RunEpisode: %v", err)
+	}
+	if _, err := RunCampaign(bad, agent, 4, 1); err == nil || !strings.HasPrefix(err.Error(), "safeplan:") {
+		t.Errorf("RunCampaign: %v", err)
+	}
+	badMulti := DefaultMultiSimConfig()
+	badMulti.Vehicles = 0
+	magent := BuildMultiPure(sc, NewConservativeExpert(sc))
+	if _, err := RunMultiEpisode(badMulti, magent, 1); err == nil || !strings.HasPrefix(err.Error(), "safeplan:") {
+		t.Errorf("RunMultiEpisode: %v", err)
+	}
+	if _, err := RunMultiCampaign(badMulti, magent, 4, 1); err == nil || !strings.HasPrefix(err.Error(), "safeplan:") {
+		t.Errorf("RunMultiCampaign: %v", err)
+	}
+	cfsc := DefaultCarFollowScenario()
+	badCF := DefaultCarFollowSimConfig()
+	badCF.DtM = -1
+	cfAgent := BuildCarFollowPure(cfsc, NewCarFollowConservativeExpert(cfsc))
+	if _, err := RunCarFollowEpisode(badCF, cfAgent, 1); err == nil || !strings.HasPrefix(err.Error(), "safeplan:") {
+		t.Errorf("RunCarFollowEpisode: %v", err)
+	}
+	if _, err := RunCarFollowCampaign(badCF, cfAgent, 4, 1); err == nil || !strings.HasPrefix(err.Error(), "safeplan:") {
+		t.Errorf("RunCarFollowCampaign: %v", err)
+	}
+	if _, err := WinningPercentage([]float64{1}, []float64{1, 2}); err == nil || !strings.HasPrefix(err.Error(), "safeplan:") {
+		t.Errorf("WinningPercentage: %v", err)
+	}
+}
+
+// TestCampaignCollector runs a 64-episode campaign through the public
+// options API with a live collector (exercised under -race by `make
+// check`) and checks the snapshot against the aggregate statistics.
+func TestCampaignCollector(t *testing.T) {
+	sc := DefaultScenario()
+	cfg := DefaultSimConfig()
+	cfg.InfoFilter = true
+	agent := BuildUltimate(sc, NewAggressiveExpert(sc))
+
+	m := NewMetrics()
+	var progressCalls atomic.Int64
+	progress := ProgressFunc(func(done, total int64) { progressCalls.Add(1) })
+	stats, err := RunCampaign(cfg, agent, 64, 1,
+		WithCollector(MultiCollector(m, progress)),
+		WithWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Episodes != 64 || int(s.Episodes) != stats.N {
+		t.Errorf("episodes = %d, stats N = %d", s.Episodes, stats.N)
+	}
+	if s.Reached != int64(stats.Reached) {
+		t.Errorf("reached = %d, want %d", s.Reached, stats.Reached)
+	}
+	if s.ProgressDone != 64 {
+		t.Errorf("progress = %d/%d", s.ProgressDone, s.ProgressTotal)
+	}
+	if progressCalls.Load() != 64 {
+		t.Errorf("progress callback fired %d times, want 64", progressCalls.Load())
+	}
+	if len(s.MonitorReasons) == 0 {
+		t.Error("compound agent reported no monitor reasons")
+	}
+	if s.MonitorReasons["kn"] == 0 {
+		t.Errorf("κ_n never selected: %v", s.MonitorReasons)
+	}
+	if s.FusedWidth.Count == 0 || s.FusedWidth.Mean > s.SoundWidth.Mean {
+		t.Errorf("fused estimate no tighter than sound: fused %v vs sound %v",
+			s.FusedWidth.Mean, s.SoundWidth.Mean)
+	}
+}
+
+// TestCarFollowCollectorAndTrace exercises the second scenario through
+// the same options: trace recording and monitor-reason telemetry.
+func TestCarFollowCollectorAndTrace(t *testing.T) {
+	sc := DefaultCarFollowScenario()
+	cfg := DefaultCarFollowSimConfig()
+	cfg.InfoFilter = true
+	agent := BuildCarFollowUltimate(sc, NewCarFollowAggressiveExpert(sc))
+
+	r, err := RunCarFollowEpisode(cfg, agent, 3, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trace) == 0 {
+		t.Fatal("no car-following trace recorded")
+	}
+	if r.Trace[len(r.Trace)-1].T == 0 && len(r.Trace) > 1 {
+		t.Error("trace timestamps not advancing")
+	}
+
+	m := NewMetrics()
+	if _, err := RunCarFollowCampaign(cfg, agent, 16, 1, WithCollector(m)); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Episodes != 16 {
+		t.Errorf("episodes = %d", s.Episodes)
+	}
+	var decisions int64
+	for _, c := range s.MonitorReasons {
+		decisions += c
+	}
+	if decisions != s.Steps {
+		t.Errorf("monitor decisions %d != steps %d", decisions, s.Steps)
+	}
+}
+
+// TestLegacyAliasesDelegate pins the deprecated names to the options
+// implementation: same seed, same result.
+func TestLegacyAliasesDelegate(t *testing.T) {
+	sc := DefaultScenario()
+	cfg := DefaultSimConfig()
+	agent := BuildBasic(sc, NewConservativeExpert(sc))
+	a, err := RunEpisode(cfg, agent, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEpisodeTraced(cfg, agent, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Eta != b.Eta || a.Steps != b.Steps || a.Reached != b.Reached {
+		t.Fatalf("traced alias diverges: %+v vs %+v", a, b)
+	}
+}

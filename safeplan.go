@@ -39,8 +39,18 @@ import (
 	"safeplan/internal/planner"
 	"safeplan/internal/sensor"
 	"safeplan/internal/sim"
+	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
 )
+
+// wrapErr gives every public entry point the same "safeplan:" error
+// prefix that Validate uses, so callers can match on it uniformly.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("safeplan: %w", err)
+}
 
 // Core vocabulary, re-exported for downstream users.  The aliased types
 // live in internal packages; the aliases are the supported public names.
@@ -118,12 +128,14 @@ func NewAggressiveExpert(sc Scenario) *Expert { return planner.AggressiveExpert(
 // TrainPlanner imitation-trains an NN planner from an expert (or any
 // Planner used as the teacher) and returns it with its final training loss.
 func TrainPlanner(sc Scenario, teacher Planner, label string, opts TrainOptions) (*NNPlanner, float64, error) {
-	return planner.TrainNNPlanner(sc, teacher, label, opts)
+	p, loss, err := planner.TrainNNPlanner(sc, teacher, label, opts)
+	return p, loss, wrapErr(err)
 }
 
 // LoadPlanner reads an NN planner saved with NNPlanner.Save.
 func LoadPlanner(path, label string, sc Scenario) (*NNPlanner, error) {
-	return planner.LoadNNPlanner(path, label, sc.Ego)
+	p, err := planner.LoadNNPlanner(path, label, sc.Ego)
+	return p, wrapErr(err)
 }
 
 // BuildPure wraps κ_n without any safety machinery — the paper's baseline.
@@ -138,28 +150,142 @@ func BuildBasic(sc Scenario, kn Planner) *CompoundPlanner { return core.NewBasic
 // SimConfig.InfoFilter = true to enable the information filter.
 func BuildUltimate(sc Scenario, kn Planner) *CompoundPlanner { return core.NewUltimate(sc, kn) }
 
-// RunEpisode simulates one closed-loop episode.
-func RunEpisode(cfg SimConfig, agent Agent, seed int64) (EpisodeResult, error) {
-	return sim.Run(cfg, agent, sim.Options{Seed: seed})
+// Telemetry vocabulary, re-exported from internal/telemetry: collectors
+// observe the engine's per-step probes (monitor selections, estimate
+// widths, planner latency), per-episode outcomes, and campaign progress.
+type (
+	// Collector receives telemetry probes; implementations must be safe
+	// for concurrent use (campaigns share one collector across workers).
+	Collector = telemetry.Collector
+	// StepProbe is one control step's observability payload.
+	StepProbe = telemetry.StepProbe
+	// EpisodeOutcome is the scored result of one finished episode.
+	EpisodeOutcome = telemetry.EpisodeOutcome
+	// Metrics is the standard atomic-counter/histogram collector.
+	Metrics = telemetry.Metrics
+	// MetricsSnapshot is a point-in-time copy of a Metrics collector,
+	// encodable as JSON and renderable as text.
+	MetricsSnapshot = telemetry.Snapshot
+	// ProgressFunc adapts a callback to a progress-only Collector.
+	ProgressFunc = telemetry.ProgressFunc
+)
+
+// NewMetrics returns an empty Metrics collector.
+func NewMetrics() *Metrics { return telemetry.NewMetrics() }
+
+// MultiCollector bundles several collectors into one (e.g. Metrics plus a
+// ProgressFunc driving a console progress line).
+func MultiCollector(cs ...Collector) Collector { return telemetry.Multi(cs...) }
+
+// RunOption customizes the Run* entry points (functional options).
+type RunOption func(*runSettings)
+
+type runSettings struct {
+	trace      bool
+	collector  telemetry.Collector
+	workers    int
+	workersSet bool
+}
+
+// WithTrace records the per-step trace in the episode result.  It is
+// ignored by campaign entry points (a campaign of traces would dwarf the
+// statistics it aggregates; run the interesting seed individually).
+func WithTrace() RunOption { return func(s *runSettings) { s.trace = true } }
+
+// WithCollector attaches a telemetry collector to the run.  The engine
+// feeds it per-step probes and episode outcomes; compound agents
+// additionally report their runtime-monitor selections.  Campaigns share
+// the collector across workers, so it must be concurrency-safe
+// (telemetry.Metrics is).
+func WithCollector(c Collector) RunOption { return func(s *runSettings) { s.collector = c } }
+
+// WithWorkers bounds a campaign's episode-level parallelism to n
+// goroutines (the default is one per core).  n must be ≥ 1; campaign
+// entry points reject anything else.  Single-episode entry points ignore
+// it beyond the validation.
+func WithWorkers(n int) RunOption {
+	return func(s *runSettings) {
+		s.workers = n
+		s.workersSet = true
+	}
+}
+
+// applySettings folds the options and validates them.
+func applySettings(opts []RunOption) (runSettings, error) {
+	var s runSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.workersSet && s.workers < 1 {
+		return s, fmt.Errorf("safeplan: WithWorkers(%d): worker count must be >= 1", s.workers)
+	}
+	return s, nil
+}
+
+// instrumentable is the optional agent contract behind WithCollector: the
+// compound planners implement it to report monitor selections.
+type instrumentable interface {
+	SetCollector(telemetry.Collector)
+}
+
+// attach hands the collector to the agent when it supports
+// instrumentation (pure agents have no monitor to report on).
+func (s runSettings) attach(agent any) {
+	if s.collector == nil {
+		return
+	}
+	if ia, ok := agent.(instrumentable); ok {
+		ia.SetCollector(s.collector)
+	}
+}
+
+// RunEpisode simulates one closed-loop episode.  Options select per-run
+// behaviour: WithTrace records the per-step trace, WithCollector attaches
+// a telemetry collector.
+func RunEpisode(cfg SimConfig, agent Agent, seed int64, opts ...RunOption) (EpisodeResult, error) {
+	s, err := applySettings(opts)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+	s.attach(agent)
+	r, err := sim.Run(cfg, agent, sim.Options{Seed: seed, Trace: s.trace, Collector: s.collector})
+	return r, wrapErr(err)
 }
 
 // RunEpisodeTraced simulates one episode and records the per-step trace.
+//
+// Deprecated: use RunEpisode(cfg, agent, seed, WithTrace()).
 func RunEpisodeTraced(cfg SimConfig, agent Agent, seed int64) (EpisodeResult, error) {
-	return sim.Run(cfg, agent, sim.Options{Seed: seed, Trace: true})
+	return RunEpisode(cfg, agent, seed, WithTrace())
 }
 
 // RunCampaign simulates n episodes over seeds baseSeed…baseSeed+n−1 in
-// parallel and aggregates the paper's statistics.
-func RunCampaign(cfg SimConfig, agent Agent, n int, baseSeed int64) (CampaignStats, error) {
-	rs, err := sim.RunMany(cfg, agent, n, baseSeed)
+// parallel and aggregates the paper's statistics.  Options select
+// campaign behaviour: WithCollector attaches a shared telemetry collector
+// (fed per-step probes, episode outcomes, and campaign progress),
+// WithWorkers bounds the parallelism.
+func RunCampaign(cfg SimConfig, agent Agent, n int, baseSeed int64, opts ...RunOption) (CampaignStats, error) {
+	s, err := applySettings(opts)
 	if err != nil {
 		return CampaignStats{}, err
+	}
+	s.attach(agent)
+	rs, err := sim.RunCampaign(cfg, agent, n, sim.CampaignOptions{
+		BaseSeed:  baseSeed,
+		Workers:   s.workers,
+		Collector: s.collector,
+	})
+	if err != nil {
+		return CampaignStats{}, wrapErr(err)
 	}
 	return eval.Aggregate(rs), nil
 }
 
 // WinningPercentage compares two paired η series (see eval).
-func WinningPercentage(a, b []float64) (float64, error) { return eval.WinningPercentage(a, b) }
+func WinningPercentage(a, b []float64) (float64, error) {
+	w, err := eval.WinningPercentage(a, b)
+	return w, wrapErr(err)
+}
 
 // Experiment entry points (Tables I–II, Fig. 5–6, RMSE, ablations); see
 // internal/experiments for the row/point types.
@@ -179,17 +305,20 @@ func NewExpertExperimentPlanners(sc Scenario) ExperimentPlanners {
 
 // NewTrainedExperimentPlanners imitation-trains the κ_n pair.
 func NewTrainedExperimentPlanners(sc Scenario, seed int64) (ExperimentPlanners, error) {
-	return experiments.TrainedPlanners(sc, seed)
+	pl, err := experiments.TrainedPlanners(sc, seed)
+	return pl, wrapErr(err)
 }
 
 // ReproduceTable1 regenerates Table I (conservative κ_n).
 func ReproduceTable1(pl ExperimentPlanners, n int, seed int64) ([]TableRow, error) {
-	return experiments.Table(experiments.Conservative, pl, n, seed)
+	rows, err := experiments.Table(experiments.Conservative, pl, n, seed)
+	return rows, wrapErr(err)
 }
 
 // ReproduceTable2 regenerates Table II (aggressive κ_n).
 func ReproduceTable2(pl ExperimentPlanners, n int, seed int64) ([]TableRow, error) {
-	return experiments.Table(experiments.Aggressive, pl, n, seed)
+	rows, err := experiments.Table(experiments.Aggressive, pl, n, seed)
+	return rows, wrapErr(err)
 }
 
 // Validate sanity-checks a user-assembled simulation configuration.
@@ -235,16 +364,33 @@ func BuildMultiUltimate(sc Scenario, kn Planner) *MultiCompoundPlanner {
 }
 
 // RunMultiEpisode simulates one episode against an oncoming stream.
-func RunMultiEpisode(cfg MultiSimConfig, agent MultiAgent, seed int64) (EpisodeResult, error) {
-	return sim.RunMulti(cfg, agent, sim.Options{Seed: seed})
+// It accepts the same options as RunEpisode.
+func RunMultiEpisode(cfg MultiSimConfig, agent MultiAgent, seed int64, opts ...RunOption) (EpisodeResult, error) {
+	s, err := applySettings(opts)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+	s.attach(agent)
+	r, err := sim.RunMulti(cfg, agent, sim.Options{Seed: seed, Trace: s.trace, Collector: s.collector})
+	return r, wrapErr(err)
 }
 
 // RunMultiCampaign simulates n seed-paired episodes against oncoming
-// streams and aggregates the statistics.
-func RunMultiCampaign(cfg MultiSimConfig, agent MultiAgent, n int, baseSeed int64) (CampaignStats, error) {
-	rs, err := sim.RunManyMulti(cfg, agent, n, baseSeed)
+// streams and aggregates the statistics.  It accepts the same options as
+// RunCampaign.
+func RunMultiCampaign(cfg MultiSimConfig, agent MultiAgent, n int, baseSeed int64, opts ...RunOption) (CampaignStats, error) {
+	s, err := applySettings(opts)
 	if err != nil {
 		return CampaignStats{}, err
+	}
+	s.attach(agent)
+	rs, err := sim.RunMultiCampaign(cfg, agent, n, sim.CampaignOptions{
+		BaseSeed:  baseSeed,
+		Workers:   s.workers,
+		Collector: s.collector,
+	})
+	if err != nil {
+		return CampaignStats{}, wrapErr(err)
 	}
 	return eval.Aggregate(rs), nil
 }
@@ -294,17 +440,33 @@ func BuildCarFollowUltimate(sc CarFollowScenario, kn CarFollowPlanner) CarFollow
 	return carfollow.NewUltimate(sc, kn)
 }
 
-// RunCarFollowEpisode simulates one car-following episode.
-func RunCarFollowEpisode(cfg CarFollowSimConfig, agent CarFollowAgent, seed int64) (EpisodeResult, error) {
-	return carfollow.Run(cfg, agent, seed)
+// RunCarFollowEpisode simulates one car-following episode.  It accepts
+// the same options as RunEpisode.
+func RunCarFollowEpisode(cfg CarFollowSimConfig, agent CarFollowAgent, seed int64, opts ...RunOption) (EpisodeResult, error) {
+	s, err := applySettings(opts)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+	s.attach(agent)
+	r, err := carfollow.RunEpisode(cfg, agent, sim.Options{Seed: seed, Trace: s.trace, Collector: s.collector})
+	return r, wrapErr(err)
 }
 
 // RunCarFollowCampaign simulates n seed-paired car-following episodes and
-// aggregates the statistics.
-func RunCarFollowCampaign(cfg CarFollowSimConfig, agent CarFollowAgent, n int, baseSeed int64) (CampaignStats, error) {
-	rs, err := carfollow.RunMany(cfg, agent, n, baseSeed)
+// aggregates the statistics.  It accepts the same options as RunCampaign.
+func RunCarFollowCampaign(cfg CarFollowSimConfig, agent CarFollowAgent, n int, baseSeed int64, opts ...RunOption) (CampaignStats, error) {
+	s, err := applySettings(opts)
 	if err != nil {
 		return CampaignStats{}, err
+	}
+	s.attach(agent)
+	rs, err := carfollow.RunCampaign(cfg, agent, n, sim.CampaignOptions{
+		BaseSeed:  baseSeed,
+		Workers:   s.workers,
+		Collector: s.collector,
+	})
+	if err != nil {
+		return CampaignStats{}, wrapErr(err)
 	}
 	return eval.Aggregate(rs), nil
 }
