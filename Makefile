@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench golden fuzz-smoke lint-extra
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,29 @@ test: build
 	$(GO) test ./...
 
 # Full gate: vet + the whole suite under the race detector (includes the
-# concurrent-campaign telemetry tests).
+# concurrent-campaign telemetry tests), then the golden-trace regression
+# and a short fuzzing smoke pass over the safety invariants.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run TestGolden ./internal/sim
+	$(MAKE) fuzz-smoke
+
+# Re-bless the golden traces after an intentional behaviour change.
+golden:
+	$(GO) test -run TestGolden ./internal/sim -update
+
+# Short fuzzing pass: ~20s per safety target.  The full corpus grows under
+# `go test -fuzz <Target> <pkg>` without a -fuzztime bound.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzCompoundSafety -fuzztime 20s ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzCarFollowSafety -fuzztime 20s ./internal/carfollow
+
+# Optional linters: run them when the tools are installed, skip quietly
+# when they are not (the container does not ship them).
+lint-extra:
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; skipping"
+	@command -v govulncheck >/dev/null 2>&1 && govulncheck ./... || echo "govulncheck not installed; skipping"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

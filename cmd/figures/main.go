@@ -8,6 +8,11 @@
 //
 //	figures [-fig 5a|5b|5c|5d|5e|5f|6a|6b|rmse|ablation|all]
 //	        [-n 400] [-seed 42] [-csv] [-nn] [-models DIR]
+//
+// Beyond the paper's figures, "burst" sweeps the mean loss-burst length
+// of a Gilbert–Elliott channel and "worstcase" tabulates the adversarial
+// disturbance settings (burst loss, jitter+reordering, stale replay,
+// blackout, sensor bias drift) — the worst-case companion of Table I/II.
 package main
 
 import (
@@ -25,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig    = flag.String("fig", "all", "figure id: 5a–5f, 6a, 6b, rmse, ablation, stream, carfollow, or all")
+		fig    = flag.String("fig", "all", "figure id: 5a–5f, 6a, 6b, rmse, ablation, stream, carfollow, burst, worstcase, or all")
 		n      = flag.Int("n", 400, "episodes per sweep point")
 		seed   = flag.Int64("seed", experiments.DefaultSeed, "base seed")
 		csv    = flag.Bool("csv", false, "emit CSV instead of tables/ASCII charts")
@@ -58,9 +63,10 @@ func main() {
 		"6a": app.fig6a, "6b": app.fig6b,
 		"rmse": app.rmse, "ablation": app.ablation,
 		"stream": app.stream, "carfollow": app.carfollow,
+		"burst": app.burst, "worstcase": app.worstcase,
 	}
 	if *fig == "all" {
-		for _, id := range []string{"5a", "5b", "5c", "5d", "5e", "5f", "6a", "6b", "rmse", "ablation", "stream", "carfollow"} {
+		for _, id := range []string{"5a", "5b", "5c", "5d", "5e", "5f", "6a", "6b", "rmse", "ablation", "stream", "carfollow", "burst", "worstcase"} {
 			if err := figs[id](); err != nil {
 				log.Fatal(err)
 			}
@@ -82,7 +88,7 @@ type app struct {
 	seed int64
 	csv  bool
 
-	transmission, drop, sensorPts []experiments.SweepPoint
+	transmission, drop, sensorPts, burstPts []experiments.SweepPoint
 }
 
 func (a *app) sweep(kind string) ([]experiments.SweepPoint, error) {
@@ -98,6 +104,11 @@ func (a *app) sweep(kind string) ([]experiments.SweepPoint, error) {
 			a.drop, err = experiments.SweepDrop(a.pl, a.n, a.seed)
 		}
 		return a.drop, err
+	case "burst":
+		if a.burstPts == nil {
+			a.burstPts, err = experiments.SweepBurst(a.pl, a.n, a.seed)
+		}
+		return a.burstPts, err
 	default:
 		if a.sensorPts == nil {
 			a.sensorPts, err = experiments.SweepSensor(a.pl, a.n, a.seed)
@@ -273,6 +284,33 @@ func (a *app) stream() error {
 	tb := textio.NewTable("vehicles", "planner", "reaching time", "safe rate", "η value", "emergency freq")
 	for _, r := range rows {
 		tb.AddRow(fmt.Sprint(r.Vehicles), r.PlannerType,
+			textio.F(r.ReachTime, 3)+"s", textio.Pct(r.SafeRate),
+			textio.F(r.Eta, 3), textio.Pct(r.EmergencyFreq))
+	}
+	var err2 error
+	if a.csv {
+		err2 = tb.CSV(os.Stdout)
+	} else {
+		err2 = tb.Render(os.Stdout)
+	}
+	fmt.Println()
+	return err2
+}
+
+func (a *app) burst() error {
+	return a.renderSweep("Burst-loss sweep: reaching time vs mean burst length (Gilbert–Elliott)",
+		"mean burst [msgs]", "burst", false)
+}
+
+func (a *app) worstcase() error {
+	rows, err := experiments.WorstCaseTable(experiments.Aggressive, a.pl, a.n, a.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Worst-case disturbance table, aggressive κ_n (n=%d)\n", a.n)
+	tb := textio.NewTable("setting", "planner", "reaching time", "safe rate", "η value", "emergency freq")
+	for _, r := range rows {
+		tb.AddRow(r.Setting, r.PlannerType,
 			textio.F(r.ReachTime, 3)+"s", textio.Pct(r.SafeRate),
 			textio.F(r.Eta, 3), textio.Pct(r.EmergencyFreq))
 	}

@@ -7,7 +7,13 @@
 //	simulate [-planner cons|aggr] [-design pure|basic|ultimate]
 //	         [-setting none|delayed|lost] [-seed 1] [-trace]
 //	         [-episodes N] [-workers N] [-metrics text|json]
+//	         [-disturb PRESET] [-sensordisturb PRESET]
 //	         [-models DIR]   (use trained NN planners instead of the experts)
+//
+// -disturb overrides the channel with a named adversarial disturbance
+// model (burst loss, jitter+reordering, stale replay, scripted blackout);
+// -sensordisturb injects sensing faults (bias drift, bursty dropout).
+// Run with an unknown name (e.g. -disturb list) to see the presets.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
+	"safeplan/internal/disturb"
 	"safeplan/internal/eval"
 	"safeplan/internal/experiments"
 	"safeplan/internal/planner"
@@ -40,6 +47,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "campaign worker goroutines (0: one per core)")
 		metrics  = flag.String("metrics", "", "dump telemetry metrics: text or json")
 		models   = flag.String("models", "", "directory with trained NN models (empty: analytic experts)")
+		dist     = flag.String("disturb", "", "adversarial channel disturbance preset (overrides -setting comms)")
+		sensDist = flag.String("sensordisturb", "", "adversarial sensing disturbance preset")
 	)
 	flag.Parse()
 
@@ -53,6 +62,27 @@ func main() {
 		cfg.Sensor = sensor.Uniform(experiments.LostSensorDelta)
 	default:
 		log.Fatalf("unknown setting %q", *setting)
+	}
+	if *dist != "" {
+		m, err := disturb.Preset(*dist)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Comms = comms.Disturbed(m)
+	}
+	if *sensDist != "" {
+		m, err := disturb.SensorPreset(*sensDist)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.SensorDisturb = m
+	}
+	settingDesc := *setting
+	if *dist != "" {
+		settingDesc += " +disturb:" + *dist
+	}
+	if *sensDist != "" {
+		settingDesc += " +sensor:" + *sensDist
 	}
 
 	pl := experiments.ExpertPlanners(cfg.Scenario)
@@ -113,7 +143,7 @@ func main() {
 			log.Fatal(err)
 		}
 		st := eval.Aggregate(rs)
-		fmt.Printf("setting:  %s  seeds: %d…%d\n", *setting, *seed, *seed+int64(*episodes)-1)
+		fmt.Printf("setting:  %s  seeds: %d…%d\n", settingDesc, *seed, *seed+int64(*episodes)-1)
 		fmt.Printf("outcome:  safe %d/%d (%.2f%%), reached %d, mean η = %.4f\n",
 			st.Safe, st.N, 100*st.SafeRate(), st.Reached, st.MeanEta)
 		dumpMetrics(coll, *metrics)
@@ -129,7 +159,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("setting:  %s  seed: %d\n", *setting, *seed)
+	fmt.Printf("setting:  %s  seed: %d\n", settingDesc, *seed)
 	switch {
 	case r.Collided:
 		fmt.Printf("outcome:  COLLISION (η = %.3f)\n", r.Eta)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"safeplan/internal/comms"
+	"safeplan/internal/disturb"
 	"safeplan/internal/dynamics"
 	"safeplan/internal/fusion"
 	"safeplan/internal/sensor"
@@ -36,6 +37,17 @@ type SimConfig struct {
 	// LeadSpeedMin/Max sample the initial lead speed; the ego starts at
 	// the same speed so episodes begin in equilibrium.
 	LeadSpeedMin, LeadSpeedMax float64
+
+	// SensorDisturb, when non-nil, injects adversarial sensing faults
+	// (bias drift, bursty dropout — see internal/disturb).  Readings stay
+	// inside the sound ±δ envelope.
+	SensorDisturb disturb.SensorModel
+
+	// LeadScript, when non-empty, replaces the stochastic stop-and-go
+	// lead with a scripted per-control-step acceleration sequence (the
+	// last value holds beyond its end).  Used by fuzzing to search lead
+	// behaviours directly.
+	LeadScript []float64
 }
 
 // DefaultHorizon bounds a car-following episode (the ~400 m course takes
@@ -79,6 +91,16 @@ func (c SimConfig) Validate() error {
 	}
 	if c.LeadSpeedMin > c.LeadSpeedMax || c.LeadSpeedMin < 0 {
 		return fmt.Errorf("carfollow: bad lead speed range")
+	}
+	if c.SensorDisturb != nil {
+		if err := c.SensorDisturb.Validate(); err != nil {
+			return fmt.Errorf("carfollow: %w", err)
+		}
+	}
+	for i, a := range c.LeadScript {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return fmt.Errorf("carfollow: lead script entry %d is %v", i, a)
+		}
 	}
 	return nil
 }
@@ -124,6 +146,12 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (sim.Result, error
 		return sim.Result{}, err
 	}
 	initRng := rand.New(rand.NewSource(master.Int63()))
+	// Disturbance streams derive last so legacy configurations keep their
+	// exact per-seed behaviour.
+	var sensProc disturb.SensorProcess
+	if cfg.SensorDisturb != nil {
+		sensProc = cfg.SensorDisturb.NewSensor(rand.New(rand.NewSource(master.Int63())))
+	}
 
 	sc := cfg.Scenario
 	ego := sc.EgoInit
@@ -156,9 +184,18 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (sim.Result, error
 			filt.OnMessage(m)
 		}
 		if at, ok := sensTick.Due(t); ok {
-			r := sens.Measure(1, at, lead, leadA)
-			lastMeas = &r
-			filt.OnReading(r)
+			drop := false
+			var bias float64
+			if sensProc != nil {
+				d := sensProc.Next(at)
+				drop = d.Drop
+				bias = d.Bias
+			}
+			if !drop {
+				r := sens.MeasureBiased(1, at, lead, leadA, bias)
+				lastMeas = &r
+				filt.OnReading(r)
+			}
 		}
 
 		est := filt.EstimateAt(t)
@@ -215,7 +252,12 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (sim.Result, error
 			res.Trace = append(res.Trace, s)
 		}
 
-		ba := driver.Accel(t, lead)
+		var ba float64
+		if len(cfg.LeadScript) > 0 {
+			ba = sim.ScriptAccel(cfg.LeadScript, step)
+		} else {
+			ba = driver.Accel(t, lead)
+		}
 		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)
 		lead, leadA = dynamics.Step(lead, ba, dt, sc.Lead)
 		res.Steps++

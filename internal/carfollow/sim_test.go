@@ -1,12 +1,15 @@
 package carfollow
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	"safeplan/internal/comms"
+	"safeplan/internal/disturb"
 	"safeplan/internal/eval"
 	"safeplan/internal/sensor"
+	"safeplan/internal/sim"
 )
 
 func simCfg() SimConfig { return DefaultSimConfig() }
@@ -188,5 +191,54 @@ func TestQuickCarFollowEndToEnd(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunManyMatchesRunCampaign pins the deprecated wrapper to its
+// replacement under an adversarial disturbance: identical inputs must
+// yield identical results.
+func TestRunManyMatchesRunCampaign(t *testing.T) {
+	cfg := simCfg()
+	m, err := disturb.Preset("worst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Comms = comms.Disturbed(m)
+	cfg.SensorDisturb = disturb.BiasDrift{Max: 1, Period: 12}
+	cfg.InfoFilter = true
+	agent := NewUltimate(cfg.Scenario, AggressiveExpert(cfg.Scenario))
+	a, err := RunMany(cfg, agent, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(cfg, agent, 24, sim.CampaignOptions{BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunMany diverged from RunCampaign")
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers: the worker count must not leak
+// into any episode's random streams.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	cfg := simCfg()
+	m, err := disturb.Preset("worst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Comms = comms.Disturbed(m)
+	cfg.SensorDisturb = disturb.SensorDropout{PGoodBad: 0.04, PBadGood: 0.15, DropBad: 0.95}
+	run := func(workers int) []sim.Result {
+		agent := NewBasic(cfg.Scenario, ConservativeExpert(cfg.Scenario))
+		rs, err := RunCampaign(cfg, agent, 24, sim.CampaignOptions{BaseSeed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	if a, b := run(1), run(8); !reflect.DeepEqual(a, b) {
+		t.Fatal("car-following campaign differs between 1 and 8 workers")
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"safeplan/internal/disturb"
 )
 
 // Message is a V2V state report: the exact kinematic state of the sender's
@@ -37,6 +39,13 @@ type Config struct {
 	// duration disables the outage.
 	OutageStart    float64
 	OutageDuration float64
+
+	// Model, when non-nil, replaces the Delay/DropProb pair with a
+	// composable disturbance process (Gilbert–Elliott burst loss, delay
+	// jitter with reordering, stale replay, scripted phase schedules —
+	// see internal/disturb).  Lost and the outage window still apply
+	// first; they are deterministic and consume no randomness.
+	Model disturb.Model
 }
 
 // Validate reports whether the configuration is usable.
@@ -49,6 +58,11 @@ func (c Config) Validate() error {
 	}
 	if c.OutageDuration < 0 {
 		return fmt.Errorf("comms: negative outage duration %v", c.OutageDuration)
+	}
+	if c.Model != nil {
+		if err := c.Model.Validate(); err != nil {
+			return fmt.Errorf("comms: %w", err)
+		}
 	}
 	return nil
 }
@@ -68,6 +82,9 @@ func Delayed(delay, pd float64) Config { return Config{Delay: delay, DropProb: p
 // Lost returns the "messages lost" setting (sensors only).
 func Lost() Config { return Config{Lost: true} }
 
+// Disturbed returns a channel governed by the given disturbance model.
+func Disturbed(m disturb.Model) Config { return Config{Model: m} }
+
 // pending is a message waiting for its delivery time.
 type pending struct {
 	deliverAt float64
@@ -78,14 +95,18 @@ type pending struct {
 // vehicle.  It is not safe for concurrent use.
 type Channel struct {
 	cfg   Config
-	rng   *rand.Rand
+	proc  disturb.Process // nil for the legacy Delay/DropProb pair
+	drop  *rand.Rand      // loss decisions only
 	queue []pending
 
-	sent, dropped, delivered int
+	sent, dropped, delivered, replayed int
 }
 
 // NewChannel creates a channel with the given disturbance configuration.
-// rng must be non-nil; it is the only source of randomness.
+// rng must be non-nil; it seeds two independent derived streams — one for
+// loss decisions, one for latency draws — so sweeping a loss parameter
+// (p_d, burst dwell) never perturbs the delays of unrelated messages in a
+// seed-paired A/B comparison.
 func NewChannel(cfg Config, rng *rand.Rand) (*Channel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -93,23 +114,50 @@ func NewChannel(cfg Config, rng *rand.Rand) (*Channel, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("comms: nil rng")
 	}
-	return &Channel{cfg: cfg, rng: rng}, nil
+	dropRng := rand.New(rand.NewSource(rng.Int63()))
+	delayRng := rand.New(rand.NewSource(rng.Int63()))
+	ch := &Channel{cfg: cfg, drop: dropRng}
+	if cfg.Model != nil {
+		ch.proc = cfg.Model.New(dropRng, delayRng)
+	}
+	return ch, nil
 }
 
 // Send offers a message to the channel at its timestamp m.T.  Depending on
-// the configuration the message is dropped or enqueued for delivery at
-// m.T + Delay.
+// the configuration the message is dropped or enqueued for delivery after
+// its per-message latency; disturbance models may additionally enqueue
+// stale duplicate copies.
 func (c *Channel) Send(m Message) {
 	c.sent++
-	if c.cfg.Lost || c.cfg.inOutage(m.T) ||
-		(c.cfg.DropProb > 0 && c.rng.Float64() < c.cfg.DropProb) {
+	if c.cfg.Lost || c.cfg.inOutage(m.T) {
 		c.dropped++
 		return
 	}
-	c.queue = append(c.queue, pending{deliverAt: m.T + c.cfg.Delay, msg: m})
-	// Keep the queue sorted by delivery time; Delay is constant per channel
-	// so appends are already in order, but sort defensively for future
-	// per-message jitter extensions.
+	if c.proc != nil {
+		d := c.proc.Next(m.T)
+		if d.Drop {
+			c.dropped++
+			return
+		}
+		c.enqueue(m.T+d.Delay, m)
+		for _, extra := range d.Dup {
+			c.replayed++
+			c.enqueue(m.T+extra, m)
+		}
+		return
+	}
+	if c.cfg.DropProb > 0 && c.drop.Float64() < c.cfg.DropProb {
+		c.dropped++
+		return
+	}
+	c.enqueue(m.T+c.cfg.Delay, m)
+}
+
+// enqueue inserts one delivery, keeping the queue sorted by delivery time
+// (jitter models enqueue out of order; the stable sort keeps ties in send
+// order, so Poll output is deterministic).
+func (c *Channel) enqueue(at float64, m Message) {
+	c.queue = append(c.queue, pending{deliverAt: at, msg: m})
 	if n := len(c.queue); n > 1 && c.queue[n-2].deliverAt > c.queue[n-1].deliverAt {
 		sort.SliceStable(c.queue, func(i, j int) bool {
 			return c.queue[i].deliverAt < c.queue[j].deliverAt
@@ -142,6 +190,10 @@ func (c *Channel) Pending() int { return len(c.queue) }
 func (c *Channel) Stats() (sent, dropped, delivered int) {
 	return c.sent, c.dropped, c.delivered
 }
+
+// Replayed returns how many stale duplicate deliveries the disturbance
+// model has enqueued.
+func (c *Channel) Replayed() int { return c.replayed }
 
 // Ticker generates the periodic broadcast/sensing instants of the paper
 // (every Δt_m or Δt_s seconds).  It counts periods with an integer index so

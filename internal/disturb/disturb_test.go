@@ -1,0 +1,283 @@
+package disturb
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func newProc(t *testing.T, m Model, seed int64) Process {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("%s invalid: %v", m.Name(), err)
+	}
+	return m.New(rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed+1)))
+}
+
+func TestValidateRejects(t *testing.T) {
+	for name, m := range map[string]Model{
+		"iid-prob":        IID{DropProb: 1.5},
+		"iid-delay":       IID{Delay: -1},
+		"ge-prob":         GilbertElliott{PGoodBad: -0.1},
+		"ge-delay":        GilbertElliott{Delay: math.NaN()},
+		"jitter-base":     Jitter{Base: -0.1},
+		"jitter-tail":     Jitter{TailProb: 2},
+		"replay-range":    Replay{ExtraMin: 1, ExtraMax: 0.5},
+		"replay-inner":    Replay{Inner: IID{DropProb: -1}},
+		"schedule-empty":  Schedule{},
+		"schedule-order":  Schedule{Phases: []Phase{{Start: 2, Model: None{}}, {Start: 1, Model: None{}}}},
+		"schedule-nil":    Schedule{Phases: []Phase{{Start: 0, Model: nil}}},
+		"schedule-nested": Schedule{Phases: []Phase{{Start: 0, Model: IID{Delay: -3}}}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := m.Validate(); err == nil {
+				t.Fatalf("invalid %T accepted", m)
+			}
+		})
+	}
+	for name, m := range map[string]SensorModel{
+		"bias-amp":    BiasDrift{Max: 1.5},
+		"bias-period": BiasDrift{Period: -1},
+		"drop-prob":   SensorDropout{DropBad: -0.5},
+		"stack-empty": SensorStack{},
+		"stack-inner": SensorStack{Models: []SensorModel{BiasDrift{Max: 2}}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := m.Validate(); err == nil {
+				t.Fatalf("invalid %T accepted", m)
+			}
+		})
+	}
+}
+
+func TestIIDMatchesLegacySemantics(t *testing.T) {
+	p := newProc(t, IID{DropProb: 0.3, Delay: 0.25}, 42)
+	const n = 20000
+	dropped := 0
+	for i := 0; i < n; i++ {
+		d := p.Next(float64(i) * 0.1)
+		if d.Delay != 0.25 || len(d.Dup) != 0 {
+			t.Fatalf("decision %+v", d)
+		}
+		if d.Drop {
+			dropped++
+		}
+	}
+	if rate := float64(dropped) / n; math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("empirical drop rate %.3f, want ≈0.30", rate)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	m := GilbertElliott{PGoodBad: 0.05, PBadGood: 0.125, DropGood: 0, DropBad: 1}
+	p := newProc(t, m, 7)
+	const n = 50000
+	drops := make([]bool, n)
+	total := 0
+	for i := range drops {
+		drops[i] = p.Next(float64(i)).Drop
+		if drops[i] {
+			total++
+		}
+	}
+	// Stationary loss rate: πbad = PGoodBad/(PGoodBad+PBadGood) = 2/7.
+	if rate := float64(total) / n; math.Abs(rate-2.0/7) > 0.03 {
+		t.Fatalf("loss rate %.3f, want ≈%.3f", rate, 2.0/7)
+	}
+	// Burstiness: mean run length of consecutive drops ≈ 1/PBadGood = 8,
+	// far above the ≈1.4 an i.i.d. channel of equal rate would produce.
+	runs, runLen := 0, 0
+	for _, d := range drops {
+		if d {
+			runLen++
+		} else if runLen > 0 {
+			runs++
+			runLen = 0
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no loss bursts observed")
+	}
+	mean := float64(total) / float64(runs)
+	if mean < 4 {
+		t.Fatalf("mean burst length %.2f — not bursty", mean)
+	}
+}
+
+func TestJitterBoundsAndReordering(t *testing.T) {
+	m := Jitter{Base: 0.05, Spread: 0.4, TailProb: 0.15, TailMean: 0.5}
+	p := newProc(t, m, 3)
+	reordered := false
+	prev := -1.0
+	for i := 0; i < 2000; i++ {
+		tm := float64(i) * 0.1
+		d := p.Next(tm)
+		if d.Drop {
+			t.Fatal("jitter without DropProb dropped a message")
+		}
+		if d.Delay < 0.05 {
+			t.Fatalf("delay %v below base", d.Delay)
+		}
+		if prev >= 0 && tm+d.Delay < prev {
+			reordered = true
+		}
+		if arr := tm + d.Delay; arr > prev {
+			prev = arr
+		}
+	}
+	if !reordered {
+		t.Fatal("jitter never reordered messages")
+	}
+}
+
+// TestDelayStreamIndependentOfDropParameter is the contract behind the
+// split RNG streams: sweeping the loss parameter must not perturb the
+// latency draws of unrelated messages, or Gilbert–Elliott A/B comparisons
+// measure stream aliasing instead of the channel effect.
+func TestDelayStreamIndependentOfDropParameter(t *testing.T) {
+	delays := func(dropProb float64) []float64 {
+		m := Jitter{Base: 0.05, Spread: 0.4, TailProb: 0.15, TailMean: 0.5, DropProb: dropProb}
+		p := newProc(t, m, 11)
+		var out []float64
+		for i := 0; i < 500; i++ {
+			out = append(out, p.Next(float64(i)*0.1).Delay)
+		}
+		return out
+	}
+	if a, b := delays(0), delays(0.7); !reflect.DeepEqual(a, b) {
+		t.Fatal("changing DropProb perturbed the delay stream")
+	}
+}
+
+func TestReplayProducesStaleDuplicates(t *testing.T) {
+	m := Replay{Inner: IID{Delay: 0.2}, Prob: 0.5, ExtraMin: 0.3, ExtraMax: 1.5}
+	p := newProc(t, m, 9)
+	dups := 0
+	for i := 0; i < 4000; i++ {
+		d := p.Next(float64(i) * 0.1)
+		for _, extra := range d.Dup {
+			dups++
+			if extra < d.Delay+0.3-1e-12 || extra > d.Delay+1.5+1e-12 {
+				t.Fatalf("duplicate latency %v outside [%v, %v]", extra, d.Delay+0.3, d.Delay+1.5)
+			}
+		}
+	}
+	if rate := float64(dups) / 4000; math.Abs(rate-0.5) > 0.05 {
+		t.Fatalf("duplication rate %.3f, want ≈0.5", rate)
+	}
+}
+
+func TestScheduleDispatchesByTime(t *testing.T) {
+	m := Schedule{Phases: []Phase{
+		{Start: 1, Model: None{}},
+		{Start: 2, Model: Blackout{}},
+		{Start: 3, Model: None{}},
+	}}
+	p := newProc(t, m, 1)
+	for _, tc := range []struct {
+		t    float64
+		drop bool
+	}{{0.5, false}, {1.5, false}, {2.0, true}, {2.9, true}, {3.0, false}, {10, false}} {
+		if got := p.Next(tc.t).Drop; got != tc.drop {
+			t.Fatalf("t=%v: drop=%v, want %v", tc.t, got, tc.drop)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	mk := func() []Decision {
+		m, err := Preset("worst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.New(rand.New(rand.NewSource(5)), rand.New(rand.NewSource(6)))
+		var out []Decision
+		for i := 0; i < 300; i++ {
+			out = append(out, p.Next(float64(i)*0.05))
+		}
+		return out
+	}
+	if a, b := mk(), mk(); !reflect.DeepEqual(a, b) {
+		t.Fatal("process not deterministic for equal seeds")
+	}
+}
+
+func TestBiasDriftRampAndSinusoid(t *testing.T) {
+	ramp := BiasDrift{Rate: 0.2, Max: 0.6}.NewSensor(nil)
+	if b := ramp.Next(1).Bias; math.Abs(b-0.2) > 1e-12 {
+		t.Fatalf("ramp bias at 1s = %v", b)
+	}
+	if b := ramp.Next(10).Bias; b != 0.6 {
+		t.Fatalf("ramp bias not clamped: %v", b)
+	}
+	sin := BiasDrift{Max: 1, Period: 12}.NewSensor(nil)
+	for tm := 0.0; tm < 24; tm += 0.1 {
+		if b := sin.Next(tm).Bias; math.Abs(b) > 1 {
+			t.Fatalf("sinusoid bias %v outside ±1", b)
+		}
+	}
+	if b := sin.Next(3).Bias; math.Abs(b-1) > 1e-9 {
+		t.Fatalf("sinusoid peak = %v, want 1", b)
+	}
+}
+
+func TestSensorDropoutBursts(t *testing.T) {
+	m := SensorDropout{PGoodBad: 0.04, PBadGood: 0.15, DropGood: 0, DropBad: 1}
+	p := m.NewSensor(rand.New(rand.NewSource(2)))
+	total, runs, runLen := 0, 0, 0
+	const n = 30000
+	for i := 0; i < n; i++ {
+		if p.Next(float64(i)).Drop {
+			total++
+			runLen++
+		} else if runLen > 0 {
+			runs++
+			runLen = 0
+		}
+	}
+	if total == 0 || runs == 0 {
+		t.Fatal("no dropout observed")
+	}
+	if mean := float64(total) / float64(runs); mean < 3 {
+		t.Fatalf("mean dropout burst %.2f — not bursty", mean)
+	}
+}
+
+func TestSensorStackCombinesAndClamps(t *testing.T) {
+	m := SensorStack{Models: []SensorModel{
+		BiasDrift{Rate: 10, Max: 0.8},
+		BiasDrift{Rate: 10, Max: 0.8},
+	}}
+	p := m.NewSensor(rand.New(rand.NewSource(1)))
+	if b := p.Next(5).Bias; b != 1 {
+		t.Fatalf("stacked bias %v, want clamp at 1", b)
+	}
+}
+
+func TestPresetsAllValid(t *testing.T) {
+	for _, name := range PresetNames() {
+		m, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	for _, name := range SensorPresetNames() {
+		m, err := SensorPreset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("sensor preset %q invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := SensorPreset("nope"); err == nil {
+		t.Error("unknown sensor preset accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"safeplan/internal/core"
+	"safeplan/internal/sim"
+)
+
+func TestAdversarialSettingsValid(t *testing.T) {
+	ss := AdversarialSettings()
+	if len(ss) != 6 {
+		t.Fatalf("settings = %d", len(ss))
+	}
+	for _, s := range ss {
+		if s.Model == nil && s.Sensor == nil {
+			t.Errorf("%s: empty setting", s.Name)
+		}
+		if s.Model != nil {
+			if err := s.Model.Validate(); err != nil {
+				t.Errorf("%s: %v", s.Name, err)
+			}
+		}
+		if s.Sensor != nil {
+			if err := s.Sensor.Validate(); err != nil {
+				t.Errorf("%s: %v", s.Name, err)
+			}
+		}
+		if err := adversarialSim(s).Validate(); err != nil {
+			t.Errorf("%s: sim config invalid: %v", s.Name, err)
+		}
+	}
+}
+
+// TestAdversarialSafetyInvariant is the acceptance criterion for the
+// disturbance subsystem: the compound planner must stay collision-free
+// (η ≥ 0) under every adversarial model, for both κ_n families, over at
+// least 1000 episodes each.  The monitor only relies on the sound
+// estimate; every channel model preserves it (delivered messages carry
+// exact sender state, and biased readings stay inside ±δ), so any
+// collision here is a soundness bug, not a tuning issue.
+func TestAdversarialSafetyInvariant(t *testing.T) {
+	const episodes = 1000
+	pl := testPlanners()
+	for _, s := range AdversarialSettings() {
+		for _, kind := range []PlannerKind{Conservative, Aggressive} {
+			s, kind := s, kind
+			t.Run(s.Name+"/"+kind.String(), func(t *testing.T) {
+				t.Parallel()
+				// Ultimate + information filter: the full design must never
+				// collide.  Fused-estimate misses are tolerated here — with
+				// the Kalman component on, the fused interval is an
+				// efficiency estimate, not the safety-bearing one (the
+				// monitor uses the sound estimate; see failure_test.go).
+				ultCfg := adversarialSim(s)
+				ultCfg.InfoFilter = true
+				ult := core.NewUltimate(ultCfg.Scenario, pl.Pick(kind))
+				rs, err := sim.RunCampaign(ultCfg, ult, episodes, sim.CampaignOptions{BaseSeed: testSeed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range rs {
+					if r.Collided || r.Eta < 0 {
+						t.Fatalf("episode %d (seed %d): ultimate collision under %s",
+							i, testSeed+int64(i), s.Name)
+					}
+				}
+				// Basic compound without the Kalman component: the fused
+				// interval degenerates to the sound intersection, so any
+				// violation is a genuine soundness bug in the disturbance
+				// threading.
+				basicCfg := adversarialSim(s)
+				basic := core.NewBasic(basicCfg.Scenario, pl.Pick(kind))
+				rs, err = sim.RunCampaign(basicCfg, basic, episodes, sim.CampaignOptions{BaseSeed: testSeed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range rs {
+					if r.Collided || r.Eta < 0 {
+						t.Fatalf("episode %d (seed %d): basic collision under %s",
+							i, testSeed+int64(i), s.Name)
+					}
+					if r.SoundnessViolations > 0 {
+						t.Fatalf("episode %d: %d sound-estimate violations under %s",
+							i, r.SoundnessViolations, s.Name)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestWorstCaseTableShape(t *testing.T) {
+	rows, err := WorstCaseTable(Aggressive, testPlanners(), testN, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 { // 6 settings × 3 designs
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for s := 0; s < 6; s++ {
+		pure, basic, ult := rows[3*s], rows[3*s+1], rows[3*s+2]
+		if basic.SafeRate != 1 || ult.SafeRate != 1 {
+			t.Errorf("%s: compound safe rates %v / %v", pure.Setting, basic.SafeRate, ult.SafeRate)
+		}
+		if !math.IsNaN(pure.EmergencyFreq) {
+			t.Errorf("%s: pure row has emergency frequency", pure.Setting)
+		}
+		if math.IsNaN(pure.Winning) {
+			t.Errorf("%s: pure row missing winning percentage", pure.Setting)
+		}
+	}
+	// The aggressive pure planner must actually be stressed: unsafe in at
+	// least the full worst-case setting.
+	if last := rows[15]; last.SafeRate >= 1 {
+		t.Errorf("pure aggressive fully safe under %q (%v)", last.Setting, last.SafeRate)
+	}
+}
+
+func TestSweepBurstShape(t *testing.T) {
+	pts, err := SweepBurst(testPlanners(), 60, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 || pts[0].X != 1 || pts[9].X != 10 {
+		t.Fatalf("burst sweep x values wrong: %v … %v", pts[0].X, pts[len(pts)-1].X)
+	}
+	for _, pt := range pts {
+		if pt.UltSafe != 1 || pt.BasicSafe != 1 {
+			t.Errorf("x=%v: compound unsafe", pt.X)
+		}
+	}
+	// Longer bursts mean a higher stationary loss rate, so the ultimate
+	// design's reaching time must degrade across the sweep.
+	if pts[9].UltReach <= pts[0].UltReach {
+		t.Errorf("ultimate reach should degrade with burst length: %v → %v",
+			pts[0].UltReach, pts[9].UltReach)
+	}
+}

@@ -76,18 +76,39 @@ func (m *Model) Config() Config { return m.cfg }
 // Measure produces a reading of the target's true state s and acceleration
 // a at time t, with each component independently perturbed by uniform noise.
 func (m *Model) Measure(target int, t float64, s dynamics.State, a float64) Reading {
+	return m.MeasureBiased(target, t, s, a, 0)
+}
+
+// MeasureBiased is Measure with an adversarial bias of bias·δ added to each
+// component *before* the shifted noise is clamped back into [−δ, +δ].
+// The clamp keeps every reading inside the sound envelope the fusion
+// filter's soundness argument relies on — bias pushes the error toward one
+// edge (worst-case correlated error) but can never break the ±δ promise.
+// bias is a fraction in [−1, 1]; disturbance models (internal/disturb)
+// supply it per reading.
+func (m *Model) MeasureBiased(target int, t float64, s dynamics.State, a float64, bias float64) Reading {
 	return Reading{
 		Target: target,
 		T:      t,
-		P:      s.P + m.uniform(m.cfg.DeltaP),
-		V:      s.V + m.uniform(m.cfg.DeltaV),
-		A:      a + m.uniform(m.cfg.DeltaA),
+		P:      s.P + m.biased(m.cfg.DeltaP, bias),
+		V:      s.V + m.biased(m.cfg.DeltaV, bias),
+		A:      a + m.biased(m.cfg.DeltaA, bias),
 	}
 }
 
-func (m *Model) uniform(d float64) float64 {
+// biased draws the uniform noise, shifts it by bias·d, and clamps the sum
+// into [−d, +d].  The noise draw happens before the zero-bias shortcut so
+// the RNG stream is identical with and without a bias model attached.
+func (m *Model) biased(d, bias float64) float64 {
 	if d == 0 {
 		return 0
 	}
-	return (m.rng.Float64()*2 - 1) * d
+	e := (m.rng.Float64()*2-1)*d + bias*d
+	if e > d {
+		e = d
+	}
+	if e < -d {
+		e = -d
+	}
+	return e
 }

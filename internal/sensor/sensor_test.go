@@ -151,3 +151,63 @@ func TestQuickIntervalSoundness(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: a biased reading stays inside the sound ±δ envelope for every
+// bias fraction — the clamp that keeps the fusion filter's soundness
+// argument intact under bias-drift disturbance.
+func TestQuickBiasedReadingStaysSound(t *testing.T) {
+	f := func(seed int64, biasRaw float64) bool {
+		bias := math.Mod(biasRaw, 1)
+		if math.IsNaN(bias) {
+			bias = 1
+		}
+		cfg := Uniform(2)
+		m, err := New(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		s := dynamics.State{P: 100, V: 10}
+		for i := 0; i < 20; i++ {
+			r := m.MeasureBiased(0, 0, s, 1, bias)
+			if !r.PosInterval(cfg).Contains(s.P) || !r.VelInterval(cfg).Contains(s.V) {
+				return false
+			}
+			if math.Abs(r.A-1) > cfg.DeltaA {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A zero bias must consume the RNG stream exactly like Measure, so
+// attaching a disturbance model that emits Bias=0 changes nothing.
+func TestMeasureBiasedZeroMatchesMeasure(t *testing.T) {
+	cfg := Uniform(1.5)
+	a, _ := New(cfg, rand.New(rand.NewSource(9)))
+	b, _ := New(cfg, rand.New(rand.NewSource(9)))
+	s := dynamics.State{P: 50, V: 8}
+	for i := 0; i < 50; i++ {
+		ra := a.Measure(1, float64(i), s, 0.5)
+		rb := b.MeasureBiased(1, float64(i), s, 0.5, 0)
+		if ra != rb {
+			t.Fatalf("step %d: %+v != %+v", i, ra, rb)
+		}
+	}
+}
+
+// A full positive bias pins readings to the upper half of the envelope.
+func TestFullBiasPinsToEdge(t *testing.T) {
+	cfg := Uniform(2)
+	m, _ := New(cfg, rand.New(rand.NewSource(4)))
+	s := dynamics.State{P: 0, V: 0}
+	for i := 0; i < 200; i++ {
+		r := m.MeasureBiased(0, 0, s, 0, 1)
+		if r.P < 0 || r.P > 2 {
+			t.Fatalf("bias +1 reading %v outside [0, 2]", r.P)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/disturb"
+	"safeplan/internal/planner"
+	"safeplan/internal/telemetry"
+)
+
+// disturbedConfig returns the harshest preset pairing — the config most
+// likely to expose worker-order or collector-dependent randomness in the
+// disturbance threading.
+func disturbedConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := DefaultConfig()
+	m, err := disturb.Preset("worst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := disturb.SensorPreset("worst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Comms = comms.Disturbed(m)
+	cfg.SensorDisturb = sm
+	cfg.InfoFilter = true
+	return cfg
+}
+
+const (
+	detEpisodes = 64
+	detSeed     = 5
+)
+
+// TestCampaignDeterministicAcrossWorkers: a campaign's results must be a
+// pure function of (config, n, base seed) — the worker count only changes
+// the execution order, never an episode's random streams or the order of
+// the returned slice.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	cfg := disturbedConfig(t)
+	run := func(workers int) []Result {
+		agent := core.NewUltimate(cfg.Scenario, planner.ConservativeExpert(cfg.Scenario))
+		rs, err := RunCampaign(cfg, agent, detEpisodes, CampaignOptions{BaseSeed: detSeed, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	if a, b := run(1), run(8); !reflect.DeepEqual(a, b) {
+		t.Fatal("campaign results differ between 1 and 8 workers")
+	}
+}
+
+// TestMultiCampaignDeterministicAcrossWorkers is the multi-vehicle twin.
+func TestMultiCampaignDeterministicAcrossWorkers(t *testing.T) {
+	cfg := DefaultMultiConfig()
+	cfg.Config = disturbedConfig(t)
+	cfg.Horizon = 45
+	run := func(workers int) []Result {
+		agent := core.NewMultiUltimate(cfg.Scenario, planner.ConservativeExpert(cfg.Scenario))
+		rs, err := RunMultiCampaign(cfg, agent, detEpisodes, CampaignOptions{BaseSeed: detSeed, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	if a, b := run(1), run(8); !reflect.DeepEqual(a, b) {
+		t.Fatal("multi campaign results differ between 1 and 8 workers")
+	}
+}
+
+// TestCampaignCollectorInvariance: attaching a telemetry collector must
+// not perturb any episode (telemetry only observes; it never draws from
+// the episode's random streams).
+func TestCampaignCollectorInvariance(t *testing.T) {
+	cfg := disturbedConfig(t)
+	run := func(withCollector bool) []Result {
+		agent := core.NewUltimate(cfg.Scenario, planner.ConservativeExpert(cfg.Scenario))
+		o := CampaignOptions{BaseSeed: detSeed}
+		if withCollector {
+			m := telemetry.NewMetrics()
+			agent.SetCollector(m)
+			o.Collector = m
+		}
+		rs, err := RunCampaign(cfg, agent, detEpisodes, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	if a, b := run(false), run(true); !reflect.DeepEqual(a, b) {
+		t.Fatal("campaign results differ with a collector attached")
+	}
+}
+
+// TestRunManyMatchesRunCampaign pins the deprecated wrapper to its
+// replacement: both must return identical results for equal inputs.
+func TestRunManyMatchesRunCampaign(t *testing.T) {
+	cfg := disturbedConfig(t)
+	agent := core.NewUltimate(cfg.Scenario, planner.ConservativeExpert(cfg.Scenario))
+	a, err := RunMany(cfg, agent, detEpisodes, detSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(cfg, agent, detEpisodes, CampaignOptions{BaseSeed: detSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunMany diverged from RunCampaign")
+	}
+}
+
+// TestRunManyMultiMatchesRunMultiCampaign is the multi-vehicle twin.
+func TestRunManyMultiMatchesRunMultiCampaign(t *testing.T) {
+	cfg := DefaultMultiConfig()
+	cfg.Config = disturbedConfig(t)
+	cfg.Horizon = 45
+	agent := core.NewMultiUltimate(cfg.Scenario, planner.ConservativeExpert(cfg.Scenario))
+	a, err := RunManyMulti(cfg, agent, detEpisodes, detSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMultiCampaign(cfg, agent, detEpisodes, CampaignOptions{BaseSeed: detSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunManyMulti diverged from RunMultiCampaign")
+	}
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/disturb"
+	"safeplan/internal/planner"
+)
+
+// fuzzReader decodes a fuzz byte stream into bounded parameters.  Every
+// draw is valid by construction, so the fuzzer spends its budget on
+// behaviour, not on Validate rejections.
+type fuzzReader struct {
+	data []byte
+	i    int
+}
+
+func (r *fuzzReader) next() byte {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return b
+}
+
+// unit returns a value in [0, 1].
+func (r *fuzzReader) unit() float64 { return float64(r.next()) / 255 }
+
+// rng returns a value in [lo, hi].
+func (r *fuzzReader) rng(lo, hi float64) float64 { return lo + r.unit()*(hi-lo) }
+
+// decodeModel builds an arbitrary (but always valid) channel disturbance.
+func decodeModel(r *fuzzReader) disturb.Model {
+	switch r.next() % 6 {
+	case 0:
+		return nil // legacy perfect channel
+	case 1:
+		return disturb.IID{DropProb: r.unit(), Delay: r.rng(0, 0.5)}
+	case 2:
+		return disturb.GilbertElliott{
+			PGoodBad: r.unit(),
+			PBadGood: r.rng(0.02, 1),
+			DropGood: r.rng(0, 0.3),
+			DropBad:  r.unit(),
+			Delay:    r.rng(0, 0.3),
+			StartBad: r.next()%2 == 0,
+		}
+	case 3:
+		return disturb.Jitter{
+			Base:     r.rng(0, 0.2),
+			Spread:   r.rng(0, 0.8),
+			TailProb: r.unit(),
+			TailMean: r.rng(0, 1),
+			DropProb: r.unit(),
+		}
+	case 4:
+		lo := r.rng(0.1, 1)
+		return disturb.Replay{
+			Inner:    disturb.IID{DropProb: r.rng(0, 0.6), Delay: r.rng(0, 0.3)},
+			Prob:     r.unit(),
+			ExtraMin: lo,
+			ExtraMax: lo + r.unit(),
+		}
+	default:
+		// A scripted schedule with strictly increasing phase starts,
+		// including a mid-episode blackout.
+		s1 := r.rng(0, 4)
+		s2 := s1 + r.rng(0.5, 3)
+		s3 := s2 + r.rng(0.5, 3)
+		return disturb.Schedule{Phases: []disturb.Phase{
+			{Start: s1, Model: disturb.IID{DropProb: r.unit(), Delay: r.rng(0, 0.3)}},
+			{Start: s2, Model: disturb.Blackout{}},
+			{Start: s3, Model: disturb.Jitter{Base: r.rng(0, 0.2), Spread: r.rng(0, 0.5)}},
+		}}
+	}
+}
+
+// decodeSensorModel builds an arbitrary valid sensing disturbance.
+func decodeSensorModel(r *fuzzReader) disturb.SensorModel {
+	switch r.next() % 4 {
+	case 0:
+		return nil
+	case 1:
+		return disturb.BiasDrift{Rate: r.unit(), Max: r.unit()}
+	case 2:
+		return disturb.BiasDrift{Max: r.unit(), Period: r.rng(1, 20)}
+	default:
+		return disturb.SensorDropout{
+			PGoodBad: r.rng(0, 0.3),
+			PBadGood: r.rng(0.05, 1),
+			DropBad:  r.unit(),
+		}
+	}
+}
+
+// decodeScript maps the remaining bytes onto a behavioural acceleration
+// sequence inside [aMin, aMax] (one control step per byte).
+func decodeScript(r *fuzzReader, aMin, aMax float64, maxLen int) []float64 {
+	n := len(r.data) - r.i
+	if n > maxLen {
+		n = maxLen
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.rng(aMin, aMax)
+	}
+	return out
+}
+
+// FuzzCompoundSafety decodes arbitrary bytes into a disturbance schedule
+// plus a scripted oncoming behaviour and asserts the paper's safety
+// guarantee: the compound planner never collides (η ≥ 0), no matter what
+// the channel, the sensors, or the other vehicle do.  Without the Kalman
+// component the fused estimate equals the sound intersection, so any
+// soundness violation found here is a real bug in the disturbance
+// threading.
+func FuzzCompoundSafety(f *testing.F) {
+	// Seed corpus: the paper's Table I/II settings (none / delayed with
+	// Δt_d = 0.25, p_d = 0.5 / lost), a burst channel, and a blackout
+	// schedule, each against conservative and aggressive κ_n.
+	f.Add([]byte{}, int64(1))                                      // perfect channel, conservative
+	f.Add([]byte{1, 127, 127, 1, 0, 1}, int64(42))                 // ≈ "messages delayed": IID p_d≈0.5, Δt_d≈0.25
+	f.Add([]byte{1, 255, 0, 0, 1, 3}, int64(7))                    // ≈ "messages lost": drop everything
+	f.Add([]byte{2, 20, 30, 0, 255, 60, 0, 3, 0, 9}, int64(99))    // bursty Gilbert–Elliott
+	f.Add([]byte{5, 100, 120, 50, 80, 80, 30, 60, 2, 1}, int64(3)) // scheduled blackout
+	f.Add([]byte{3, 50, 200, 100, 100, 150, 1, 200, 180, 1, 60, 200, 0, 255, 128, 64}, int64(5))
+
+	sc := DefaultConfig().Scenario
+	agents := []core.Agent{
+		core.NewBasic(sc, planner.ConservativeExpert(sc)),
+		core.NewBasic(sc, planner.AggressiveExpert(sc)),
+	}
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		r := &fuzzReader{data: data}
+		cfg := DefaultConfig()
+		if m := decodeModel(r); m != nil {
+			cfg.Comms = comms.Disturbed(m)
+		}
+		cfg.SensorDisturb = decodeSensorModel(r)
+		agent := agents[int(r.next())%len(agents)]
+		lim := cfg.Scenario.Oncoming
+		cfg.OncomingScript = decodeScript(r, lim.AMin, lim.AMax, 400)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid config: %v", err)
+		}
+		res, err := Run(cfg, agent, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Collided || res.Eta < 0 {
+			t.Fatalf("compound planner collided (η = %v) under %+v", res.Eta, cfg.Comms)
+		}
+		if res.SoundnessViolations > 0 {
+			t.Fatalf("%d sound-estimate violations without the Kalman component", res.SoundnessViolations)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
+	"safeplan/internal/disturb"
 	"safeplan/internal/dynamics"
 	"safeplan/internal/fusion"
 	"safeplan/internal/interval"
@@ -65,12 +66,13 @@ func (c MultiConfig) Validate() error {
 
 // oncomingTrack bundles one oncoming vehicle's simulation state.
 type oncomingTrack struct {
-	state   dynamics.State
-	accel   float64
-	driver  *traffic.Driver
-	channel *comms.Channel
-	sensor  *sensor.Model
-	filter  *fusion.Filter
+	state    dynamics.State
+	accel    float64
+	driver   *traffic.Driver
+	channel  *comms.Channel
+	sensor   *sensor.Model
+	filter   *fusion.Filter
+	sensProc disturb.SensorProcess // nil unless SensorDisturb is set
 }
 
 // RunMulti simulates one episode with a stream of oncoming vehicles.  The
@@ -125,6 +127,13 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, err
 		filt.InitExact(0, s, 0)
 		tracks[i] = &oncomingTrack{state: s, driver: driver, channel: channel, sensor: sens, filter: filt}
 	}
+	// Sensor disturbance streams derive after every track's legacy streams
+	// so existing configurations keep their exact per-seed behaviour.
+	if cfg.SensorDisturb != nil {
+		for _, tr := range tracks {
+			tr.sensProc = cfg.SensorDisturb.NewSensor(rand.New(rand.NewSource(master.Int63())))
+		}
+	}
 
 	ego := sc.EgoInit
 	msgTick := comms.NewTicker(cfg.DtM)
@@ -150,8 +159,17 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, err
 			for _, m := range tr.channel.Poll(t) {
 				tr.filter.OnMessage(m)
 			}
-			if sensDue && (cfg.SensorDropProb == 0 || sensDropRng.Float64() >= cfg.SensorDropProb) {
-				tr.filter.OnReading(tr.sensor.Measure(i+1, sensAt, tr.state, tr.accel))
+			if sensDue {
+				drop := cfg.SensorDropProb > 0 && sensDropRng.Float64() < cfg.SensorDropProb
+				var bias float64
+				if tr.sensProc != nil {
+					d := tr.sensProc.Next(sensAt)
+					drop = drop || d.Drop
+					bias = d.Bias
+				}
+				if !drop {
+					tr.filter.OnReading(tr.sensor.MeasureBiased(i+1, sensAt, tr.state, tr.accel, bias))
+				}
 			}
 			est := tr.filter.EstimateAt(t)
 			if !est.P.Contains(tr.state.P) || !est.V.Contains(tr.state.V) {
@@ -184,7 +202,12 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, err
 
 		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)
 		for _, tr := range tracks {
-			ba := tr.driver.Accel(t, tr.state)
+			var ba float64
+			if len(cfg.OncomingScript) > 0 {
+				ba = ScriptAccel(cfg.OncomingScript, step)
+			} else {
+				ba = tr.driver.Accel(t, tr.state)
+			}
 			tr.state, tr.accel = dynamics.Step(tr.state, ba, dt, sc.Oncoming)
 		}
 		res.Steps++

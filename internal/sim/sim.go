@@ -13,6 +13,7 @@ import (
 
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
+	"safeplan/internal/disturb"
 	"safeplan/internal/dynamics"
 	"safeplan/internal/fusion"
 	"safeplan/internal/leftturn"
@@ -42,6 +43,20 @@ type Config struct {
 	// SensorDropProb drops each scheduled sensor reading with this
 	// probability (failure injection: a flaky perception stack).
 	SensorDropProb float64
+
+	// SensorDisturb, when non-nil, disturbs the sensing schedule beyond
+	// i.i.d. dropout: burst dropout and sound bias drift (see
+	// internal/disturb).  It composes with SensorDropProb — a reading is
+	// dropped when either says so.  The channel-side counterpart lives in
+	// Comms.Model.
+	SensorDisturb disturb.SensorModel
+
+	// OncomingScript, when non-empty, replaces the random driver with a
+	// scripted per-control-step behavioural acceleration for the oncoming
+	// vehicle (adversarial workloads, fuzzing); the last value holds
+	// after the script is exhausted.  Values are clamped by the physical
+	// envelope in dynamics.Step like any driver command.
+	OncomingScript []float64
 
 	Horizon float64 // episode cutoff [s]; 0 selects DefaultHorizon
 
@@ -105,7 +120,27 @@ func (c Config) Validate() error {
 	if c.SensorDropProb < 0 || c.SensorDropProb > 1 {
 		return fmt.Errorf("sim: sensor drop probability %v outside [0,1]", c.SensorDropProb)
 	}
+	if c.SensorDisturb != nil {
+		if err := c.SensorDisturb.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	for i, a := range c.OncomingScript {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return fmt.Errorf("sim: oncoming script step %d is %v", i, a)
+		}
+	}
 	return nil
+}
+
+// ScriptAccel returns the scripted behavioural acceleration for a control
+// step, holding the final value once the script is exhausted.  Exported
+// for the sibling scenario packages' runners.
+func ScriptAccel(script []float64, step int) float64 {
+	if step >= len(script) {
+		return script[len(script)-1]
+	}
+	return script[step]
 }
 
 // Sample is one trace row (recorded when Options.Trace is set).
@@ -204,6 +239,12 @@ func Run(cfg Config, agent core.Agent, opts Options) (Result, error) {
 	sensRng := rand.New(rand.NewSource(master.Int63()))
 	initRng := rand.New(rand.NewSource(master.Int63()))
 	sensDropRng := rand.New(rand.NewSource(master.Int63()))
+	// Disturbance streams derive last so legacy configurations keep their
+	// exact per-seed behaviour.
+	var sensProc disturb.SensorProcess
+	if cfg.SensorDisturb != nil {
+		sensProc = cfg.SensorDisturb.NewSensor(rand.New(rand.NewSource(master.Int63())))
+	}
 
 	driver, err := traffic.NewDriver(cfg.Driver, driverRng)
 	if err != nil {
@@ -267,10 +308,18 @@ func Run(cfg Config, agent core.Agent, opts Options) (Result, error) {
 		for _, m := range channel.Poll(t) {
 			filt.OnMessage(m)
 		}
-		// 3. Periodic onboard sensing (subject to injected dropout).
+		// 3. Periodic onboard sensing (subject to injected dropout and
+		// the sensor disturbance model).
 		if at, ok := sensTick.Due(t); ok {
-			if cfg.SensorDropProb == 0 || sensDropRng.Float64() >= cfg.SensorDropProb {
-				r := sens.Measure(1, at, onc, oncA)
+			drop := cfg.SensorDropProb > 0 && sensDropRng.Float64() < cfg.SensorDropProb
+			var bias float64
+			if sensProc != nil {
+				d := sensProc.Next(at)
+				drop = drop || d.Drop
+				bias = d.Bias
+			}
+			if !drop {
+				r := sens.MeasureBiased(1, at, onc, oncA, bias)
 				lastMeas = &r
 				filt.OnReading(r)
 			}
@@ -340,7 +389,12 @@ func Run(cfg Config, agent core.Agent, opts Options) (Result, error) {
 		}
 
 		// 5. Advance the world.
-		behavA := driver.Accel(t, onc)
+		var behavA float64
+		if len(cfg.OncomingScript) > 0 {
+			behavA = ScriptAccel(cfg.OncomingScript, step)
+		} else {
+			behavA = driver.Accel(t, onc)
+		}
 		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)
 		onc, oncA = dynamics.Step(onc, behavA, dt, sc.Oncoming)
 		res.Steps++

@@ -191,3 +191,93 @@ func TestLegacyAliasesDelegate(t *testing.T) {
 		t.Fatalf("traced alias diverges: %+v vs %+v", a, b)
 	}
 }
+
+// TestWithDisturbanceOption checks the disturbance options end to end:
+// an invalid model is rejected with the safeplan: prefix, a valid preset
+// changes the episode relative to the clean channel, and the option is
+// equivalent to setting the config field directly.
+func TestWithDisturbanceOption(t *testing.T) {
+	sc := DefaultScenario()
+	cfg := DefaultSimConfig()
+	agent := BuildBasic(sc, NewConservativeExpert(sc))
+
+	if _, err := RunEpisode(cfg, agent, 1, WithDisturbance(BurstLoss{PGoodBad: 2})); err == nil ||
+		!strings.HasPrefix(err.Error(), "safeplan:") {
+		t.Fatalf("invalid disturbance model accepted: %v", err)
+	}
+	if _, err := RunEpisode(cfg, agent, 1, WithSensorDisturbance(SensorBiasDrift{Max: 2})); err == nil ||
+		!strings.HasPrefix(err.Error(), "safeplan:") {
+		t.Fatalf("invalid sensor disturbance accepted: %v", err)
+	}
+
+	m, err := DisturbancePreset("blackout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunEpisode(cfg, agent, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disturbed, err := RunEpisode(cfg, agent, 3, WithDisturbance(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disturbed.Collided {
+		t.Fatal("compound planner collided under blackout schedule")
+	}
+	if disturbed.ReachTime == clean.ReachTime && disturbed.Steps == clean.Steps {
+		t.Fatal("blackout disturbance had no effect on the episode")
+	}
+
+	direct := cfg
+	direct.Comms = CommsConfig{Model: m}
+	viaField, err := RunEpisode(direct, agent, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaField.Eta != disturbed.Eta || viaField.Steps != disturbed.Steps {
+		t.Fatalf("option and config-field forms diverge: %+v vs %+v", disturbed, viaField)
+	}
+}
+
+// TestDisturbancePresetsResolve pins the re-exported preset catalogue.
+func TestDisturbancePresetsResolve(t *testing.T) {
+	if len(DisturbancePresetNames()) == 0 || len(SensorDisturbancePresetNames()) == 0 {
+		t.Fatal("empty preset catalogue")
+	}
+	for _, name := range DisturbancePresetNames() {
+		if _, err := DisturbancePreset(name); err != nil {
+			t.Errorf("preset %q: %v", name, err)
+		}
+	}
+	for _, name := range SensorDisturbancePresetNames() {
+		if _, err := SensorDisturbancePreset(name); err != nil {
+			t.Errorf("sensor preset %q: %v", name, err)
+		}
+	}
+	if _, err := DisturbancePreset("no-such"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+// TestWithDisturbanceDoesNotMutateConfig: options apply to a local copy;
+// the caller's config must stay untouched across entry points.
+func TestWithDisturbanceDoesNotMutateConfig(t *testing.T) {
+	sc := DefaultScenario()
+	cfg := DefaultSimConfig()
+	agent := BuildBasic(sc, NewConservativeExpert(sc))
+	m, err := DisturbancePreset("burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := SensorDisturbancePreset("bias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunEpisode(cfg, agent, 1, WithDisturbance(m), WithSensorDisturbance(sm)); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Comms.Model != nil || cfg.SensorDisturb != nil {
+		t.Fatal("RunEpisode mutated the caller's config")
+	}
+}

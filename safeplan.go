@@ -31,6 +31,7 @@ import (
 	"safeplan/internal/carfollow"
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
+	"safeplan/internal/disturb"
 	"safeplan/internal/dynamics"
 	"safeplan/internal/eval"
 	"safeplan/internal/experiments"
@@ -119,6 +120,45 @@ var (
 	UniformSensor = sensor.Uniform
 )
 
+// Composable disturbance models (internal/disturb), re-exported so users
+// can script channels beyond the paper's i.i.d. drop + constant delay.
+type (
+	// DisturbanceModel is a composable V2V channel disturbance process.
+	DisturbanceModel = disturb.Model
+	// SensorDisturbanceModel is an adversarial sensing-fault process.
+	SensorDisturbanceModel = disturb.SensorModel
+	// BurstLoss is a Gilbert–Elliott two-state burst-loss channel.
+	BurstLoss = disturb.GilbertElliott
+	// DelayJitter draws per-message latency (uniform + heavy tail), which
+	// reorders messages in flight.
+	DelayJitter = disturb.Jitter
+	// StaleReplay wraps a model and re-delivers stale duplicate copies.
+	StaleReplay = disturb.Replay
+	// BlackoutModel drops every message while active.
+	BlackoutModel = disturb.Blackout
+	// DisturbanceSchedule scripts disturbance phases over episode time.
+	DisturbanceSchedule = disturb.Schedule
+	// DisturbancePhase is one (start time, model) entry of a schedule.
+	DisturbancePhase = disturb.Phase
+	// SensorBiasDrift drifts sensor readings toward the ±δ envelope edge.
+	SensorBiasDrift = disturb.BiasDrift
+	// SensorDropoutModel is a bursty sensing-dropout chain.
+	SensorDropoutModel = disturb.SensorDropout
+)
+
+// Named disturbance presets (see internal/disturb/preset.go).
+var (
+	// DisturbancePreset resolves a named channel disturbance ("burst",
+	// "jitter", "blackout", "worst", …).
+	DisturbancePreset = disturb.Preset
+	// DisturbancePresetNames lists the channel presets.
+	DisturbancePresetNames = disturb.PresetNames
+	// SensorDisturbancePreset resolves a named sensing disturbance.
+	SensorDisturbancePreset = disturb.SensorPreset
+	// SensorDisturbancePresetNames lists the sensing presets.
+	SensorDisturbancePresetNames = disturb.SensorPresetNames
+)
+
 // NewConservativeExpert returns the yield-first expert policy κ_n,cons.
 func NewConservativeExpert(sc Scenario) *Expert { return planner.ConservativeExpert(sc) }
 
@@ -185,6 +225,8 @@ type runSettings struct {
 	collector  telemetry.Collector
 	workers    int
 	workersSet bool
+	disturb    disturb.Model
+	sensorDist disturb.SensorModel
 }
 
 // WithTrace records the per-step trace in the episode result.  It is
@@ -210,6 +252,24 @@ func WithWorkers(n int) RunOption {
 	}
 }
 
+// WithDisturbance overrides the run's V2V channel with a composable
+// disturbance model (burst loss, delay jitter with reordering, stale
+// replay, scripted phase schedules).  The model supersedes the config's
+// Delay/DropProb pair; Lost and the outage window still apply first.
+//
+//	m, _ := safeplan.DisturbancePreset("burst")
+//	stats, err := safeplan.RunCampaign(cfg, agent, 1000, 1, safeplan.WithDisturbance(m))
+func WithDisturbance(m DisturbanceModel) RunOption {
+	return func(s *runSettings) { s.disturb = m }
+}
+
+// WithSensorDisturbance injects adversarial sensing faults (bias drift,
+// bursty dropout).  Biased readings remain inside the sound ±δ envelope,
+// so the safety guarantee is unaffected.
+func WithSensorDisturbance(m SensorDisturbanceModel) RunOption {
+	return func(s *runSettings) { s.sensorDist = m }
+}
+
 // applySettings folds the options and validates them.
 func applySettings(opts []RunOption) (runSettings, error) {
 	var s runSettings
@@ -218,6 +278,16 @@ func applySettings(opts []RunOption) (runSettings, error) {
 	}
 	if s.workersSet && s.workers < 1 {
 		return s, fmt.Errorf("safeplan: WithWorkers(%d): worker count must be >= 1", s.workers)
+	}
+	if s.disturb != nil {
+		if err := s.disturb.Validate(); err != nil {
+			return s, fmt.Errorf("safeplan: WithDisturbance: %w", err)
+		}
+	}
+	if s.sensorDist != nil {
+		if err := s.sensorDist.Validate(); err != nil {
+			return s, fmt.Errorf("safeplan: WithSensorDisturbance: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -239,6 +309,27 @@ func (s runSettings) attach(agent any) {
 	}
 }
 
+// applySim folds the disturbance options into a (local copy of a) left-turn
+// simulation config.
+func (s runSettings) applySim(cfg *sim.Config) {
+	if s.disturb != nil {
+		cfg.Comms.Model = s.disturb
+	}
+	if s.sensorDist != nil {
+		cfg.SensorDisturb = s.sensorDist
+	}
+}
+
+// applyCarFollow folds the disturbance options into a car-following config.
+func (s runSettings) applyCarFollow(cfg *carfollow.SimConfig) {
+	if s.disturb != nil {
+		cfg.Comms.Model = s.disturb
+	}
+	if s.sensorDist != nil {
+		cfg.SensorDisturb = s.sensorDist
+	}
+}
+
 // RunEpisode simulates one closed-loop episode.  Options select per-run
 // behaviour: WithTrace records the per-step trace, WithCollector attaches
 // a telemetry collector.
@@ -248,6 +339,7 @@ func RunEpisode(cfg SimConfig, agent Agent, seed int64, opts ...RunOption) (Epis
 		return EpisodeResult{}, err
 	}
 	s.attach(agent)
+	s.applySim(&cfg)
 	r, err := sim.Run(cfg, agent, sim.Options{Seed: seed, Trace: s.trace, Collector: s.collector})
 	return r, wrapErr(err)
 }
@@ -270,6 +362,7 @@ func RunCampaign(cfg SimConfig, agent Agent, n int, baseSeed int64, opts ...RunO
 		return CampaignStats{}, err
 	}
 	s.attach(agent)
+	s.applySim(&cfg)
 	rs, err := sim.RunCampaign(cfg, agent, n, sim.CampaignOptions{
 		BaseSeed:  baseSeed,
 		Workers:   s.workers,
@@ -371,6 +464,7 @@ func RunMultiEpisode(cfg MultiSimConfig, agent MultiAgent, seed int64, opts ...R
 		return EpisodeResult{}, err
 	}
 	s.attach(agent)
+	s.applySim(&cfg.Config)
 	r, err := sim.RunMulti(cfg, agent, sim.Options{Seed: seed, Trace: s.trace, Collector: s.collector})
 	return r, wrapErr(err)
 }
@@ -384,6 +478,7 @@ func RunMultiCampaign(cfg MultiSimConfig, agent MultiAgent, n int, baseSeed int6
 		return CampaignStats{}, err
 	}
 	s.attach(agent)
+	s.applySim(&cfg.Config)
 	rs, err := sim.RunMultiCampaign(cfg, agent, n, sim.CampaignOptions{
 		BaseSeed:  baseSeed,
 		Workers:   s.workers,
@@ -448,6 +543,7 @@ func RunCarFollowEpisode(cfg CarFollowSimConfig, agent CarFollowAgent, seed int6
 		return EpisodeResult{}, err
 	}
 	s.attach(agent)
+	s.applyCarFollow(&cfg)
 	r, err := carfollow.RunEpisode(cfg, agent, sim.Options{Seed: seed, Trace: s.trace, Collector: s.collector})
 	return r, wrapErr(err)
 }
@@ -460,6 +556,7 @@ func RunCarFollowCampaign(cfg CarFollowSimConfig, agent CarFollowAgent, n int, b
 		return CampaignStats{}, err
 	}
 	s.attach(agent)
+	s.applyCarFollow(&cfg)
 	rs, err := carfollow.RunCampaign(cfg, agent, n, sim.CampaignOptions{
 		BaseSeed:  baseSeed,
 		Workers:   s.workers,
