@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench golden fuzz-smoke lint-extra
+.PHONY: build test check bench bench-campaign bench-seed campaign-smoke golden fuzz-smoke lint-extra
 
 build:
 	$(GO) build ./...
@@ -34,5 +34,22 @@ lint-extra:
 	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; skipping"
 	@command -v govulncheck >/dev/null 2>&1 && govulncheck ./... || echo "govulncheck not installed; skipping"
 
+# Go micro/macro benchmarks only (no unit tests alongside).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
+
+# Full canonical campaign matrix through the sharded engine; writes
+# BENCH_campaign.json with throughput, latency percentiles, Wilson-interval
+# outcome rates, and the parallel-speedup probe.
+bench-campaign:
+	$(GO) run ./cmd/bench -out BENCH_campaign.json
+
+# Small stable snapshot (committed as BENCH_seed.json) for regression
+# comparison across machines and revisions.
+bench-seed:
+	$(GO) run ./cmd/bench -quick -out BENCH_seed.json
+
+# CI safety gate: one 10k-episode campaign with every invariant checker in
+# fail mode; exits nonzero on the first violation.
+campaign-smoke:
+	$(GO) run ./cmd/bench -smoke

@@ -334,6 +334,29 @@ func BenchmarkCarFollowTable(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedCampaign measures the campaign engine end to end: 1000
+// delayed-comms episodes through the sharded runner with the standard
+// invariant checkers attached (the per-step checking overhead is part of
+// what this benchmark tracks).
+func BenchmarkShardedCampaign(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	cfg.InfoFilter = true
+	sc := cfg.Scenario
+	agent := BuildUltimate(sc, planners().Cons)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunShardedCampaign(CampaignSpec{
+			Name:       "bench",
+			Episodes:   1000,
+			BaseSeed:   benchSeed,
+			Invariants: StandardInvariants(sc),
+		}, LeftTurnCampaign(cfg, agent)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCarFollowEpisode measures one car-following episode.
 func BenchmarkCarFollowEpisode(b *testing.B) {
 	cfg := carfollow.DefaultSimConfig()

@@ -1,0 +1,273 @@
+// Command bench runs the canonical Monte-Carlo benchmark campaigns through
+// the sharded campaign engine (internal/campaign) and writes a machine-
+// readable report with throughput, latency percentiles, and Wilson-interval
+// outcome rates.
+//
+// Usage:
+//
+//	bench [-episodes 5000] [-workers 0] [-seed 42] [-out BENCH_campaign.json]
+//	      [-quick] [-smoke] [-checkpoint DIR]
+//
+// The default matrix covers the paper's three communication settings (none,
+// delayed, lost) for both expert planners under the ultimate compound
+// design, plus the bursty Gilbert–Elliott and worst-case adversarial
+// disturbance presets.  Every campaign runs with the full invariant-checker
+// set in counting mode, so the report doubles as a safety audit: the
+// invariant_violations counters must be zero for the guaranteed designs.
+//
+// -quick shrinks the matrix for fast regression snapshots (BENCH_seed.json);
+// -smoke runs a single 10k-episode campaign with the checkers in fail mode
+// and exits nonzero on the first violation — the CI safety gate.
+// -checkpoint enables per-campaign checkpoint/resume in the given directory:
+// an interrupted bench rerun resumes completed shards instead of redoing
+// them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"safeplan/internal/campaign"
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/disturb"
+	"safeplan/internal/experiments"
+	"safeplan/internal/planner"
+	"safeplan/internal/sim"
+)
+
+// workload is one canonical campaign: a named configuration plus agent.
+type workload struct {
+	name  string
+	cfg   sim.Config
+	agent core.Agent
+}
+
+// benchReport is the file layout of BENCH_campaign.json / BENCH_seed.json.
+type benchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+
+	EpisodesPerCampaign int   `json:"episodes_per_campaign"`
+	BaseSeed            int64 `json:"base_seed"`
+	Workers             int   `json:"workers"`
+
+	// Speedup compares 1-worker and full-worker throughput on the first
+	// campaign of the matrix (omitted when running with a single worker).
+	Speedup *speedup `json:"speedup,omitempty"`
+
+	Campaigns []*campaign.Report `json:"campaigns"`
+}
+
+type speedup struct {
+	Campaign        string  `json:"campaign"`
+	Workers         int     `json:"workers"`
+	EpisodesPerSec1 float64 `json:"episodes_per_sec_1_worker"`
+	EpisodesPerSecN float64 `json:"episodes_per_sec_n_workers"`
+	Factor          float64 `json:"factor"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		episodes   = flag.Int("episodes", 5000, "episodes per campaign")
+		workers    = flag.Int("workers", 0, "worker goroutines (0: one per core)")
+		seed       = flag.Int64("seed", 42, "base seed (episode i runs with seed base+i)")
+		out        = flag.String("out", "BENCH_campaign.json", "output report path (- for stdout)")
+		quick      = flag.Bool("quick", false, "small matrix for regression snapshots (500 episodes unless -episodes is set)")
+		smoke      = flag.Bool("smoke", false, "CI safety gate: one 10k-episode campaign, invariants in fail mode")
+		checkpoint = flag.String("checkpoint", "", "directory for per-campaign checkpoints (enables resume)")
+	)
+	flag.Parse()
+
+	if *smoke {
+		runSmoke(*workers, *seed)
+		return
+	}
+
+	n := *episodes
+	if *quick && !flagPassed("episodes") {
+		n = 500
+	}
+	w := *workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+
+	report := benchReport{
+		GeneratedBy:         "cmd/bench",
+		GoVersion:           runtime.Version(),
+		GOOS:                runtime.GOOS,
+		GOARCH:              runtime.GOARCH,
+		NumCPU:              runtime.NumCPU(),
+		EpisodesPerCampaign: n,
+		BaseSeed:            *seed,
+		Workers:             w,
+	}
+
+	matrix := canonicalMatrix(*quick)
+	for i, wl := range matrix {
+		spec := campaign.Spec{
+			Name:            wl.name,
+			Episodes:        n,
+			BaseSeed:        *seed,
+			Workers:         w,
+			Invariants:      invariantSet(wl.cfg),
+			CountViolations: true,
+		}
+		if *checkpoint != "" {
+			spec.CheckpointPath = filepath.Join(*checkpoint, sanitize(wl.name)+".json")
+		}
+		rep, err := campaign.Run(spec, campaign.LeftTurn(wl.cfg, wl.agent))
+		if err != nil {
+			log.Fatalf("campaign %s: %v", wl.name, err)
+		}
+		log.Printf("%-28s %6d eps  %8.0f eps/s  safe %.4f [%.4f, %.4f]",
+			wl.name, rep.Stats.Episodes, rep.Perf.EpisodesPerSec,
+			rep.Stats.SafeRate.Rate, rep.Stats.SafeRate.Lo, rep.Stats.SafeRate.Hi)
+		report.Campaigns = append(report.Campaigns, rep)
+
+		// Parallel-efficiency probe: rerun the first campaign single-worker.
+		if i == 0 && w > 1 {
+			spec.CheckpointPath = "" // never resume the probe
+			spec.Workers = 1
+			base, err := campaign.Run(spec, campaign.LeftTurn(wl.cfg, wl.agent))
+			if err != nil {
+				log.Fatalf("campaign %s (1 worker): %v", wl.name, err)
+			}
+			report.Speedup = &speedup{
+				Campaign:        wl.name,
+				Workers:         w,
+				EpisodesPerSec1: base.Perf.EpisodesPerSec,
+				EpisodesPerSecN: rep.Perf.EpisodesPerSec,
+				Factor:          rep.Perf.EpisodesPerSec / base.Perf.EpisodesPerSec,
+			}
+			log.Printf("%-28s speedup %.2fx at %d workers", wl.name, report.Speedup.Factor, w)
+		}
+	}
+
+	raw, err := json.MarshalIndent(report, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "-" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d campaigns)", *out, len(report.Campaigns))
+}
+
+// canonicalMatrix builds the benchmark workloads: the paper's three
+// communication settings × both expert planners under the ultimate design,
+// plus two adversarial disturbance presets.  -quick keeps one workload per
+// axis so the snapshot stays cheap and stable.
+func canonicalMatrix(quick bool) []workload {
+	var out []workload
+	settings := experiments.StandardSettings()
+	short := map[string]string{
+		"no disturbance":   "none",
+		"messages delayed": "delayed",
+		"messages lost":    "lost",
+	}
+	kinds := []experiments.PlannerKind{experiments.Conservative, experiments.Aggressive}
+	if quick {
+		kinds = kinds[:1]
+	}
+	for _, s := range settings {
+		for _, k := range kinds {
+			cfg := experiments.SettingConfig(s)
+			cfg.InfoFilter = true
+			pl := experiments.ExpertPlanners(cfg.Scenario).Pick(k)
+			out = append(out, workload{
+				name:  short[s.Name] + "/ultimate-" + k.String(),
+				cfg:   cfg,
+				agent: core.NewUltimate(cfg.Scenario, pl),
+			})
+		}
+	}
+	presets := []string{"burst", "worst"}
+	if quick {
+		presets = presets[:1]
+	}
+	for _, p := range presets {
+		m, err := disturb.Preset(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Comms = comms.Disturbed(m)
+		cfg.InfoFilter = true
+		pl := experiments.ExpertPlanners(cfg.Scenario).Cons
+		out = append(out, workload{
+			name:  "disturb-" + p + "/ultimate-conservative",
+			cfg:   cfg,
+			agent: core.NewUltimate(cfg.Scenario, pl),
+		})
+	}
+	return out
+}
+
+// invariantSet is the full checker set for guaranteed compound designs.
+func invariantSet(cfg sim.Config) []sim.Invariant {
+	return []sim.Invariant{
+		sim.NoCollision{},
+		sim.SoundEstimate{},
+		sim.EmergencyOneStep{Cfg: cfg.Scenario},
+		sim.NewMonitorConsistency(cfg.Scenario),
+	}
+}
+
+// runSmoke is the CI safety gate: one 10k-episode campaign under the
+// delayed setting with every checker in fail mode.  Any violation makes the
+// campaign — and the process — fail.
+func runSmoke(workers int, seed int64) {
+	s := experiments.StandardSettings()[1] // messages delayed
+	cfg := experiments.SettingConfig(s)
+	cfg.InfoFilter = true
+	// The aggressive planner exercises κ_e heavily, which is what the
+	// emergency checkers are for.
+	agent := core.NewUltimate(cfg.Scenario, planner.AggressiveExpert(cfg.Scenario))
+	rep, err := campaign.Run(campaign.Spec{
+		Name:       "smoke/delayed/ultimate-aggressive",
+		Episodes:   10_000,
+		BaseSeed:   seed,
+		Workers:    workers,
+		Invariants: invariantSet(cfg),
+	}, campaign.LeftTurn(cfg, agent))
+	if err != nil {
+		log.Fatalf("SMOKE FAILED: %v", err)
+	}
+	fmt.Printf("smoke OK: %d episodes, safe %d/%d, %.0f eps/s, emergency episodes %d\n",
+		rep.Stats.Episodes, rep.Stats.Episodes-rep.Stats.Collided, rep.Stats.Episodes,
+		rep.Perf.EpisodesPerSec, rep.Stats.EmergencyEpisodes)
+}
+
+// sanitize maps a campaign name onto a filename.
+func sanitize(name string) string {
+	return strings.NewReplacer("/", "-", " ", "_").Replace(name)
+}
+
+// flagPassed reports whether the named flag was set explicitly.
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}

@@ -1,0 +1,142 @@
+package campaign
+
+import (
+	"safeplan/internal/sim"
+)
+
+// ShardStats is the deterministic per-shard aggregate: pure counts plus
+// Welford moments, folded in episode order within the shard.  It is the
+// unit of checkpointing — a completed shard serializes to JSON and merges
+// back losslessly on resume.
+type ShardStats struct {
+	Episodes int64 `json:"episodes"`
+	Collided int64 `json:"collided"`
+	Reached  int64 `json:"reached"`
+	Timeouts int64 `json:"timeouts"`
+
+	// EmergencyEpisodes counts episodes in which κ_e intervened at least
+	// once — the per-episode activation events the Wilson interval is
+	// computed over (per-step counts are not i.i.d.).
+	EmergencyEpisodes int64 `json:"emergency_episodes"`
+
+	Steps               int64 `json:"steps"`
+	EmergencySteps      int64 `json:"emergency_steps"`
+	SoundnessViolations int64 `json:"soundness_violations"`
+
+	// Eta accumulates η over all episodes; ReachTimeSafe accumulates
+	// reaching time over safe, reached episodes (the paper's '*' rows);
+	// EmergencyFreq accumulates the per-episode κ_e step fraction.
+	Eta           Moments `json:"eta"`
+	ReachTimeSafe Moments `json:"reach_time_safe"`
+	EmergencyFreq Moments `json:"emergency_freq"`
+}
+
+// Observe folds one episode result into the shard aggregate.
+func (a *ShardStats) Observe(r *sim.Result) {
+	a.Episodes++
+	switch {
+	case r.Collided:
+		a.Collided++
+	case r.Reached:
+		a.Reached++
+	default:
+		a.Timeouts++
+	}
+	if r.EmergencySteps > 0 {
+		a.EmergencyEpisodes++
+	}
+	a.Steps += int64(r.Steps)
+	a.EmergencySteps += int64(r.EmergencySteps)
+	a.SoundnessViolations += int64(r.SoundnessViolations)
+	a.Eta.Observe(r.Eta)
+	if r.Reached && !r.Collided {
+		a.ReachTimeSafe.Observe(r.ReachTime)
+	}
+	a.EmergencyFreq.Observe(r.EmergencyFrequency())
+}
+
+// Merge folds another shard aggregate into this one.  The campaign runner
+// calls it in ascending shard order, which pins the floating-point
+// reduction order regardless of worker count.
+func (a *ShardStats) Merge(b *ShardStats) {
+	a.Episodes += b.Episodes
+	a.Collided += b.Collided
+	a.Reached += b.Reached
+	a.Timeouts += b.Timeouts
+	a.EmergencyEpisodes += b.EmergencyEpisodes
+	a.Steps += b.Steps
+	a.EmergencySteps += b.EmergencySteps
+	a.SoundnessViolations += b.SoundnessViolations
+	a.Eta.Merge(b.Eta)
+	a.ReachTimeSafe.Merge(b.ReachTimeSafe)
+	a.EmergencyFreq.Merge(b.EmergencyFreq)
+}
+
+// Stats is the deterministic statistics section of a campaign report:
+// the merged shard totals plus derived rates with Wilson 95% confidence
+// intervals.  Two runs of the same Spec produce byte-identical Stats for
+// any worker count (the determinism test asserts this).
+type Stats struct {
+	ShardStats
+
+	SafeRate             Rate    `json:"safe_rate"`
+	CollisionRate        Rate    `json:"collision_rate"`
+	ReachRate            Rate    `json:"reach_rate"`
+	EmergencyEpisodeRate Rate    `json:"emergency_episode_rate"`
+	EmergencyStepRate    float64 `json:"emergency_step_rate"`
+
+	EtaStd float64 `json:"eta_std"`
+
+	// InvariantViolations counts violations by checker name; only
+	// populated when Spec.CountViolations is set (otherwise the first
+	// violation fails the campaign).
+	InvariantViolations map[string]int64 `json:"invariant_violations,omitempty"`
+}
+
+// finalize computes the derived rates from the merged totals.
+func (s *Stats) finalize() {
+	n := s.Episodes
+	s.SafeRate = NewRate(n-s.Collided, n)
+	s.CollisionRate = NewRate(s.Collided, n)
+	s.ReachRate = NewRate(s.Reached, n)
+	s.EmergencyEpisodeRate = NewRate(s.EmergencyEpisodes, n)
+	if s.Steps > 0 {
+		s.EmergencyStepRate = float64(s.EmergencySteps) / float64(s.Steps)
+	}
+	s.EtaStd = s.Eta.Std()
+}
+
+// Perf is the throughput section of a campaign report.  It is wall-clock
+// data — explicitly *not* covered by the determinism guarantee — and is
+// kept separate from Stats so reproducibility tests can compare Stats
+// alone.
+type Perf struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	EpisodesPerSec float64 `json:"episodes_per_sec"`
+	StepsPerSec    float64 `json:"steps_per_sec"`
+
+	// Step and episode latency percentiles, estimated from fixed-bucket
+	// histograms (see telemetry.HistogramSnapshot.Quantile).  Step latency
+	// is each episode's wall time divided by its step count.
+	StepP50Ns    float64 `json:"step_p50_ns"`
+	StepP99Ns    float64 `json:"step_p99_ns"`
+	EpisodeP50Ms float64 `json:"episode_p50_ms"`
+	EpisodeP99Ms float64 `json:"episode_p99_ms"`
+
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+	// ResumedShards counts shards restored from a checkpoint instead of
+	// re-run; ResumedEpisodes is their episode total.
+	ResumedShards   int   `json:"resumed_shards,omitempty"`
+	ResumedEpisodes int64 `json:"resumed_episodes,omitempty"`
+}
+
+// Report is the full result of one campaign run.
+type Report struct {
+	Name     string `json:"name"`
+	Episodes int    `json:"episodes"`
+	BaseSeed int64  `json:"base_seed"`
+
+	Stats Stats `json:"stats"`
+	Perf  Perf  `json:"perf"`
+}

@@ -1,0 +1,292 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/planner"
+	"safeplan/internal/sim"
+	"safeplan/internal/telemetry"
+)
+
+// syntheticEpisode is a deterministic, nearly-free episode function used to
+// exercise the engine at full campaign scale without paying for the
+// simulator: outcome and score are pure functions of the seed, and the
+// invariant hooks are honored exactly like the real runners honor them.
+func syntheticEpisode(opts sim.Options) (sim.Result, error) {
+	seed := opts.Seed
+	r := sim.Result{Steps: int(10 + seed%17)}
+	switch {
+	case seed%97 == 0:
+		r.Collided = true
+		r.Eta = -1
+	case seed%5 == 0:
+		// timeout: η = 0
+	default:
+		r.Reached = true
+		r.ReachTime = 8 + float64(seed%31)*0.25
+		r.Eta = 1 / r.ReachTime
+	}
+	if seed%7 == 0 {
+		r.EmergencySteps = 3
+	}
+	if err := sim.CheckEpisodeInvariants(opts.Invariants, &r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// leftTurnFixture is a trimmed real-simulator campaign: basic compound
+// design (no Kalman cost) under delayed comms with a short horizon, cheap
+// enough that a 100k-episode determinism run fits in a test.
+func leftTurnFixture() (sim.Config, core.Agent) {
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	cfg.Horizon = 8
+	sc := cfg.Scenario
+	return cfg, core.NewBasic(sc, planner.ConservativeExpert(sc))
+}
+
+// TestCampaignDeterminismSynthetic asserts the headline engine guarantee
+// at full scale: a 100k-episode campaign produces bit-identical aggregate
+// statistics for 1 worker and 8 workers.
+func TestCampaignDeterminismSynthetic(t *testing.T) {
+	const n = 100_000
+	run := func(workers int) Stats {
+		rep, err := Run(Spec{Name: "det-syn", Episodes: n, BaseSeed: 3, Workers: workers}, syntheticEpisode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Stats
+	}
+	s1, s8 := run(1), run(8)
+	if !reflect.DeepEqual(s1, s8) {
+		t.Fatalf("aggregate statistics differ between 1 and 8 workers:\n1: %+v\n8: %+v", s1, s8)
+	}
+	if s1.Episodes != n {
+		t.Fatalf("aggregated %d episodes, want %d", s1.Episodes, n)
+	}
+	if s1.Collided == 0 || s1.Reached == 0 || s1.Timeouts == 0 {
+		t.Fatalf("fixture should produce mixed outcomes, got %+v", s1.ShardStats)
+	}
+}
+
+// TestCampaignDeterminismSimulator asserts the same property through the
+// real left-turn simulator (100k episodes; downscaled under -race and
+// -short, where the full campaign would dominate the suite's wall time).
+func TestCampaignDeterminismSimulator(t *testing.T) {
+	n := 100_000
+	if raceEnabled || testing.Short() {
+		n = 2_000
+	}
+	cfg, agent := leftTurnFixture()
+	run := func(workers int) Stats {
+		rep, err := Run(Spec{Name: "det-sim", Episodes: n, BaseSeed: 11, Workers: workers}, LeftTurn(cfg, agent))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Stats
+	}
+	s1, s8 := run(1), run(8)
+	if !reflect.DeepEqual(s1, s8) {
+		t.Fatalf("simulator aggregate statistics differ between 1 and 8 workers:\n1: %+v\n8: %+v", s1, s8)
+	}
+}
+
+// TestCampaignSpeedup asserts the parallel-efficiency acceptance bar on
+// hardware that can express it: ≥ 4× episodes/sec at 8 workers on an
+// 8-core machine.  Skipped on smaller machines and under the race
+// detector, where the bar is not meaningful.
+func TestCampaignSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing assertion is meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if runtime.NumCPU() < 8 {
+		t.Skipf("need 8 cores for the speedup bar, have %d", runtime.NumCPU())
+	}
+	cfg, agent := leftTurnFixture()
+	const n = 8_000
+	run := func(workers int) float64 {
+		rep, err := Run(Spec{Name: "speedup", Episodes: n, BaseSeed: 1, Workers: workers}, LeftTurn(cfg, agent))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Perf.EpisodesPerSec
+	}
+	run(8) // warm caches so the 1-worker baseline is not penalized
+	base := run(1)
+	par := run(8)
+	if speedup := par / base; speedup < 4 {
+		t.Fatalf("8-worker speedup %.2fx < 4x (%.0f vs %.0f episodes/sec)", speedup, par, base)
+	}
+}
+
+func TestCampaignCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	spec := Spec{Name: "resume", Episodes: 10_000, BaseSeed: 5, CheckpointPath: path}
+
+	full, err := Run(spec, syntheticEpisode)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean re-run resumes every shard from disk and reproduces the
+	// statistics bit-for-bit without running a single episode.
+	resumed, err := Run(spec, func(sim.Options) (sim.Result, error) {
+		t.Fatal("resumed campaign ran an episode despite a complete checkpoint")
+		return sim.Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Stats, resumed.Stats) {
+		t.Fatalf("resumed statistics differ:\nfull:    %+v\nresumed: %+v", full.Stats, resumed.Stats)
+	}
+	if resumed.Perf.ResumedShards != resumed.Perf.Shards {
+		t.Fatalf("resumed %d of %d shards", resumed.Perf.ResumedShards, resumed.Perf.Shards)
+	}
+
+	// Simulate an interruption: drop half the shards from the checkpoint,
+	// resume, and demand the exact same statistics.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &cf); err != nil {
+		t.Fatal(err)
+	}
+	var shardsJSON map[string]json.RawMessage
+	if err := json.Unmarshal(cf["shards"], &shardsJSON); err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for k := range shardsJSON {
+		if kept%2 == 0 {
+			delete(shardsJSON, k)
+		}
+		kept++
+	}
+	cf["shards"], _ = json.Marshal(shardsJSON)
+	tampered, _ := json.Marshal(cf)
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := Run(spec, syntheticEpisode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Perf.ResumedShards == 0 || partial.Perf.ResumedShards == partial.Perf.Shards {
+		t.Fatalf("expected a partial resume, resumed %d of %d shards",
+			partial.Perf.ResumedShards, partial.Perf.Shards)
+	}
+	if !reflect.DeepEqual(full.Stats, partial.Stats) {
+		t.Fatalf("partially-resumed statistics differ:\nfull:    %+v\npartial: %+v", full.Stats, partial.Stats)
+	}
+}
+
+func TestCampaignCheckpointFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	spec := Spec{Name: "fp", Episodes: 500, BaseSeed: 1, CheckpointPath: path}
+	if _, err := Run(spec, syntheticEpisode); err != nil {
+		t.Fatal(err)
+	}
+	spec.BaseSeed = 2
+	if _, err := Run(spec, syntheticEpisode); err == nil {
+		t.Fatal("resuming a checkpoint with a different base seed must fail")
+	}
+}
+
+func TestCampaignInvariantFailMode(t *testing.T) {
+	spec := Spec{
+		Name: "fail", Episodes: 500, BaseSeed: 0,
+		Invariants: []sim.Invariant{sim.NoCollision{}},
+	}
+	_, err := Run(spec, syntheticEpisode)
+	if err == nil {
+		t.Fatal("expected the seed-0 collision to fail the campaign")
+	}
+	var v *sim.ViolationError
+	if !errors.As(err, &v) || v.Invariant != (sim.NoCollision{}).Name() {
+		t.Fatalf("error %v does not unwrap to the no-collision violation", err)
+	}
+}
+
+func TestCampaignInvariantCountMode(t *testing.T) {
+	const n = 2_000
+	spec := Spec{
+		Name: "count", Episodes: n, BaseSeed: 0,
+		Invariants:      []sim.Invariant{sim.NoCollision{}},
+		CountViolations: true,
+	}
+	rep, err := Run(spec, syntheticEpisode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeds 0, 97, 194, … collide: ceil(n/97) violations.
+	want := int64((n + 96) / 97)
+	if got := rep.Stats.InvariantViolations[(sim.NoCollision{}).Name()]; got != want {
+		t.Fatalf("counted %d violations, want %d", got, want)
+	}
+	if rep.Stats.Collided != want {
+		t.Fatalf("aggregated %d collisions, want %d", rep.Stats.Collided, want)
+	}
+}
+
+// TestCampaignProgressAndTelemetry checks the collector plumbing: progress
+// reaches Episodes and per-episode outcomes land in the shared collector.
+func TestCampaignProgressAndTelemetry(t *testing.T) {
+	m := telemetry.NewMetrics()
+	rep, err := Run(Spec{Name: "telemetry", Episodes: 1_000, BaseSeed: 9, Collector: m}, syntheticEpisode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, total := m.Progress()
+	if done != 1_000 || total != 1_000 {
+		t.Fatalf("progress %d/%d, want 1000/1000", done, total)
+	}
+	if rep.Perf.EpisodesPerSec <= 0 || rep.Perf.WallSeconds <= 0 {
+		t.Fatalf("perf section not populated: %+v", rep.Perf)
+	}
+}
+
+// TestCampaignRealInvariants runs the full checker set through the real
+// simulator: a guaranteed design must sail through with zero violations.
+func TestCampaignRealInvariants(t *testing.T) {
+	cfg, _ := leftTurnFixture()
+	sc := cfg.Scenario
+	// The aggressive expert triggers κ_e regularly, so the emergency
+	// checkers see real activations rather than passing vacuously.
+	agent := core.NewBasic(sc, planner.AggressiveExpert(sc))
+	n := 400
+	if testing.Short() {
+		n = 100
+	}
+	rep, err := Run(Spec{
+		Name: "real-invariants", Episodes: n, BaseSeed: 21,
+		Invariants: []sim.Invariant{
+			sim.NoCollision{},
+			sim.SoundEstimate{},
+			sim.EmergencyOneStep{Cfg: sc},
+			sim.NewMonitorConsistency(sc),
+		},
+	}, LeftTurn(cfg, agent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Episodes != int64(n) {
+		t.Fatalf("ran %d episodes, want %d", rep.Stats.Episodes, n)
+	}
+}

@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// checkpointVersion guards the on-disk layout.
+const checkpointVersion = 1
+
+// Fingerprint identifies the campaign a checkpoint belongs to.  Resuming
+// with a different fingerprint is refused: merging shard aggregates from a
+// different seed range or partition would silently corrupt the statistics.
+//
+// The fingerprint deliberately excludes Workers (scheduling never affects
+// the aggregates) and the configuration/agent (not serializable here) —
+// callers that vary those should vary Name or the checkpoint path.
+type Fingerprint struct {
+	Name     string `json:"name"`
+	Episodes int    `json:"episodes"`
+	BaseSeed int64  `json:"base_seed"`
+	Shards   int    `json:"shards"`
+}
+
+func (s Spec) fingerprint() Fingerprint {
+	return Fingerprint{Name: s.Name, Episodes: s.Episodes, BaseSeed: s.BaseSeed, Shards: s.shards()}
+}
+
+// checkpointFile is the on-disk layout.  Shard indices are JSON object
+// keys (decimal strings), so partial campaigns serialize sparsely.
+type checkpointFile struct {
+	Version     int                    `json:"version"`
+	Fingerprint Fingerprint            `json:"fingerprint"`
+	Shards      map[string]*ShardStats `json:"shards"`
+}
+
+// loadCheckpoint reads completed shard aggregates for the fingerprint.  A
+// missing file is an empty resume, not an error; a fingerprint mismatch or
+// a corrupt file is an error (the caller asked to resume *this* campaign).
+func loadCheckpoint(path string, fp Fingerprint) (map[int]*ShardStats, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(raw, &cf); err != nil {
+		return nil, fmt.Errorf("campaign: corrupt checkpoint %s: %w", path, err)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, cf.Version, checkpointVersion)
+	}
+	if cf.Fingerprint != fp {
+		return nil, fmt.Errorf("campaign: checkpoint %s belongs to campaign %+v, not %+v (delete it or change the path)",
+			path, cf.Fingerprint, fp)
+	}
+	out := make(map[int]*ShardStats, len(cf.Shards))
+	for k, agg := range cf.Shards {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || agg == nil {
+			return nil, fmt.Errorf("campaign: corrupt checkpoint %s: bad shard key %q", path, k)
+		}
+		out[i] = agg
+	}
+	return out, nil
+}
+
+// saveCheckpoint atomically persists the completed shards: it writes a
+// temporary file in the same directory and renames it over the target, so
+// an interruption mid-write never leaves a torn checkpoint behind.
+func saveCheckpoint(path string, fp Fingerprint, done map[int]*ShardStats) error {
+	cf := checkpointFile{
+		Version:     checkpointVersion,
+		Fingerprint: fp,
+		Shards:      make(map[string]*ShardStats, len(done)),
+	}
+	for i, agg := range done {
+		cf.Shards[strconv.Itoa(i)] = agg
+	}
+	raw, err := json.MarshalIndent(cf, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(raw, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

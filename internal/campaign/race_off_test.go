@@ -1,0 +1,8 @@
+//go:build !race
+
+package campaign
+
+// raceEnabled reports whether the race detector is compiled in; the
+// determinism test downscales under -race, where a 100k-episode campaign
+// would dominate the `make check` wall time.
+const raceEnabled = false

@@ -1,0 +1,149 @@
+// Package campaign is the Monte-Carlo campaign engine: a sharded parallel
+// episode runner with online (streaming) statistics, pluggable invariant
+// checkers, and checkpoint/resume, built so that multi-million-episode
+// safety campaigns are fast, interruptible, and *bit-reproducible* — the
+// aggregate statistics are identical for any worker count.
+//
+// Determinism comes from two decisions.  First, episode i is always seeded
+// with BaseSeed+i, independent of which worker runs it.  Second, episodes
+// are aggregated per shard (a fixed partition of the episode range that
+// does not depend on the worker count), each shard folds its episodes in
+// index order, and the shard aggregates are merged in shard order with the
+// Chan/Welford parallel-merge formulas.  Floating-point reduction order is
+// therefore a pure function of (Episodes, Shards), never of scheduling.
+package campaign
+
+import "math"
+
+// Welford is an online mean/variance accumulator (Welford's algorithm)
+// with an exact parallel merge (Chan et al.).  The zero value is an empty
+// accumulator.  All fields are exported so checkpoints can round-trip the
+// accumulator through JSON without losing a bit (encoding/json emits the
+// shortest representation that parses back to the same float64).
+type Welford struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// Observe folds one value into the accumulator.
+func (w *Welford) Observe(x float64) {
+	w.N++
+	d := x - w.Mean
+	w.Mean += d / float64(w.N)
+	w.M2 += d * (x - w.Mean)
+}
+
+// Merge folds another accumulator into this one.  Merging is associative
+// up to floating-point rounding; the campaign runner fixes the merge order
+// so the rounding is reproducible.
+func (w *Welford) Merge(o Welford) {
+	if o.N == 0 {
+		return
+	}
+	if w.N == 0 {
+		*w = o
+		return
+	}
+	n := w.N + o.N
+	d := o.Mean - w.Mean
+	w.Mean += d * float64(o.N) / float64(n)
+	w.M2 += o.M2 + d*d*float64(w.N)*float64(o.N)/float64(n)
+	w.N = n
+}
+
+// Variance returns the sample variance (n−1 denominator), 0 for n < 2.
+func (w Welford) Variance() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.M2 / float64(w.N-1)
+}
+
+// Std returns the sample standard deviation.
+func (w Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// Moments couples a Welford accumulator with running min/max.  The zero
+// value is empty; Min/Max are only meaningful when N > 0.
+type Moments struct {
+	Welford
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Observe folds one value.
+func (m *Moments) Observe(x float64) {
+	if m.N == 0 || x < m.Min {
+		m.Min = x
+	}
+	if m.N == 0 || x > m.Max {
+		m.Max = x
+	}
+	m.Welford.Observe(x)
+}
+
+// Merge folds another Moments into this one.
+func (m *Moments) Merge(o Moments) {
+	if o.N == 0 {
+		return
+	}
+	if m.N == 0 {
+		*m = o
+		return
+	}
+	m.Min = math.Min(m.Min, o.Min)
+	m.Max = math.Max(m.Max, o.Max)
+	m.Welford.Merge(o.Welford)
+}
+
+// DefaultZ is the normal quantile for 95% Wilson confidence intervals.
+const DefaultZ = 1.959963984540054
+
+// Wilson returns the Wilson score interval for a binomial proportion:
+// successes k out of n trials at normal quantile z.  Unlike the naive
+// normal approximation it behaves at the extremes (k = 0 or k = n), which
+// is exactly where safety campaigns live — the interesting rate is a
+// collision rate near zero, and "0 collisions in 10⁶ episodes" must yield
+// a nonzero upper bound.  n = 0 returns the vacuous [0, 1].
+func Wilson(k, n int64, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = math.Max(0, center-half)
+	hi = math.Min(1, center+half)
+	// The exact Wilson bound at the extremes is p itself; cancellation in
+	// center-half can leave a ~1e-19 residue there, so pin it.
+	if k == 0 {
+		lo = 0
+	}
+	if k >= n {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Rate is a binomial proportion with its Wilson 95% confidence interval,
+// shaped for JSON reports.
+type Rate struct {
+	Count int64   `json:"count"`
+	Total int64   `json:"total"`
+	Rate  float64 `json:"rate"`
+	Lo    float64 `json:"wilson_lo"`
+	Hi    float64 `json:"wilson_hi"`
+}
+
+// NewRate builds a Rate for k successes out of n trials.
+func NewRate(k, n int64) Rate {
+	r := Rate{Count: k, Total: n}
+	if n > 0 {
+		r.Rate = float64(k) / float64(n)
+	}
+	r.Lo, r.Hi = Wilson(k, n, DefaultZ)
+	return r
+}

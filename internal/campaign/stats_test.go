@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var sum float64
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		sum += xs[i]
+		w.Observe(xs[i])
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+	if math.Abs(w.Mean-mean) > 1e-10 {
+		t.Fatalf("mean %v, want %v", w.Mean, mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-9 {
+		t.Fatalf("variance %v, want %v", w.Variance(), variance)
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var whole Welford
+	parts := make([]Welford, 7)
+	for i := 0; i < 5000; i++ {
+		x := rng.ExpFloat64()
+		whole.Observe(x)
+		parts[i%len(parts)].Observe(x)
+	}
+	var merged Welford
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.N != whole.N {
+		t.Fatalf("merged N %d, want %d", merged.N, whole.N)
+	}
+	if math.Abs(merged.Mean-whole.Mean) > 1e-12 {
+		t.Fatalf("merged mean %v, sequential %v", merged.Mean, whole.Mean)
+	}
+	if math.Abs(merged.Variance()-whole.Variance())/whole.Variance() > 1e-12 {
+		t.Fatalf("merged variance %v, sequential %v", merged.Variance(), whole.Variance())
+	}
+	// Merging into/from empty accumulators is the identity.
+	var empty Welford
+	before := merged
+	merged.Merge(empty)
+	if merged != before {
+		t.Fatal("merging an empty accumulator changed the state")
+	}
+	empty.Merge(before)
+	if empty != before {
+		t.Fatal("merging into an empty accumulator did not adopt the source")
+	}
+}
+
+func TestMomentsMinMax(t *testing.T) {
+	var a, b Moments
+	for _, x := range []float64{3, -1, 4} {
+		a.Observe(x)
+	}
+	for _, x := range []float64{10, -7} {
+		b.Observe(x)
+	}
+	a.Merge(b)
+	if a.Min != -7 || a.Max != 10 || a.N != 5 {
+		t.Fatalf("merged moments min=%v max=%v n=%d", a.Min, a.Max, a.N)
+	}
+}
+
+func TestWilson(t *testing.T) {
+	// Zero successes must still give a nonzero upper bound, and the
+	// interval must always contain the point estimate.
+	lo, hi := Wilson(0, 1000, DefaultZ)
+	if lo != 0 || hi <= 0 || hi > 0.01 {
+		t.Fatalf("Wilson(0, 1000) = [%v, %v]", lo, hi)
+	}
+	lo, hi = Wilson(1000, 1000, DefaultZ)
+	if hi != 1 || lo >= 1 || lo < 0.99 {
+		t.Fatalf("Wilson(1000, 1000) = [%v, %v]", lo, hi)
+	}
+	// Canonical value: 50/100 at z=1.96 is ≈ [0.404, 0.596].
+	lo, hi = Wilson(50, 100, DefaultZ)
+	if math.Abs(lo-0.4038) > 5e-4 || math.Abs(hi-0.5962) > 5e-4 {
+		t.Fatalf("Wilson(50, 100) = [%v, %v], want ≈ [0.404, 0.596]", lo, hi)
+	}
+	// Vacuous case.
+	lo, hi = Wilson(0, 0, DefaultZ)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("Wilson(0, 0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+}
+
+func TestShardRangePartition(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{100, 7}, {64, 64}, {1000, 64}, {5, 5}, {101, 64},
+	} {
+		covered := 0
+		prevHi := 0
+		for i := 0; i < tc.shards; i++ {
+			lo, hi := shardRange(tc.n, tc.shards, i)
+			if lo != prevHi {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", tc.n, tc.shards, i, lo, prevHi)
+			}
+			if hi <= lo {
+				t.Fatalf("n=%d shards=%d: empty shard %d", tc.n, tc.shards, i)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.n {
+			t.Fatalf("n=%d shards=%d: partition covers %d episodes", tc.n, tc.shards, covered)
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 
 	"safeplan/internal/comms"
 	"safeplan/internal/disturb"
-	"safeplan/internal/dynamics"
 	"safeplan/internal/sim"
 )
 
@@ -62,11 +61,8 @@ func ffModel(r *ffReader) disturb.Model {
 
 // FuzzCarFollowSafety decodes arbitrary bytes into a channel disturbance,
 // a sensing disturbance, and a scripted lead behaviour, and asserts the
-// framework's safety guarantee in the car-following scenario: the gap
-// never violates (Eq. 1's unsafe set stays clear), and — the Eq. 4
-// emergency-step invariant — the true-state stopping-distance slack stays
-// nonnegative at every traced step, so maximal braking from any visited
-// state preserves the gap against every admissible lead behaviour.
+// framework's guarantees in the car-following scenario via the shared
+// invariant checkers threaded through the step loop (sim.Invariant).
 func FuzzCarFollowSafety(f *testing.F) {
 	// Seed corpus: the three Table-style settings plus a hard-brake lead.
 	f.Add([]byte{}, int64(1))                        // perfect comms, stock lead
@@ -112,25 +108,18 @@ func FuzzCarFollowSafety(f *testing.F) {
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("decoder produced invalid config: %v", err)
 		}
-		res, err := RunEpisode(cfg, agent, sim.Options{Seed: seed, Trace: true})
+		// Shared invariant checkers, enforced online at every step: no gap
+		// violation, sound estimates contain the true lead state, and — the
+		// Eq. 4 emergency invariant — the true-state stopping-distance slack
+		// stays nonnegative, so maximal braking from any visited state
+		// preserves the gap against every admissible lead behaviour.
+		_, err := RunEpisode(cfg, agent, sim.Options{Seed: seed, Invariants: []sim.Invariant{
+			sim.NoCollision{},
+			sim.SoundEstimate{},
+			TrueSlack{Cfg: cfg.Scenario},
+		}})
 		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Collided || res.Eta < 0 {
-			t.Fatalf("gap violation (η = %v) under %+v", res.Eta, cfg.Comms)
-		}
-		if res.SoundnessViolations > 0 {
-			t.Fatalf("%d sound-estimate violations", res.SoundnessViolations)
-		}
-		// Eq. 4 invariant on the true states: from every visited state,
-		// braking at a_min keeps the gap (slack ≥ 0), so the emergency
-		// planner always has a safe move available.
-		for _, s := range res.Trace {
-			ego := dynamics.State{P: s.EgoP, V: s.EgoV}
-			lead := dynamics.State{P: s.OncP, V: s.OncV}
-			if slack := cfg.Scenario.Slack(ego, ExactLead(lead, s.OncA)); slack < 0 {
-				t.Fatalf("t=%v: true-state slack %v < 0 (emergency invariant broken)", s.T, slack)
-			}
+			t.Fatalf("invariant violated under %+v: %v", cfg.Comms, err)
 		}
 	})
 }

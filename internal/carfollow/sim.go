@@ -114,9 +114,16 @@ func Run(cfg SimConfig, agent Agent, seed int64) (sim.Result, error) {
 
 // RunEpisode simulates one car-following episode under the shared episode
 // options (trace recording, telemetry collector).
-func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (sim.Result, error) {
+func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return sim.Result{}, err
+	}
+	if len(opts.Invariants) > 0 {
+		defer func() {
+			if err == nil {
+				err = sim.CheckEpisodeInvariants(opts.Invariants, &res)
+			}
+		}()
 	}
 	seed := opts.Seed
 	horizon := cfg.Horizon
@@ -167,7 +174,6 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (sim.Result, error
 	sensTick := comms.NewTicker(cfg.DtS)
 	sensTick.Due(0)
 
-	var res sim.Result
 	var leadA float64
 	var lastMeas *sensor.Reading
 	coll := opts.Collector
@@ -225,6 +231,14 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (sim.Result, error
 		}
 		if emergency {
 			res.EmergencySteps++
+		}
+		if len(opts.Invariants) > 0 {
+			if ierr := sim.CheckStepInvariants(opts.Invariants, sim.StepInfo{
+				T: t, Ego: ego, Other: lead, OtherA: leadA,
+				Est: est, Accel: a0, Emergency: emergency,
+			}); ierr != nil {
+				return res, ierr
+			}
 		}
 
 		if opts.Trace {

@@ -112,13 +112,18 @@ func (p Planners) Pick(k PlannerKind) planner.Planner {
 	return p.Aggr
 }
 
-// baseSim builds the sim configuration for a setting.
-func baseSim(s Setting) sim.Config {
+// SettingConfig builds the sim configuration for a setting — the exact
+// configuration the table experiments run, exported so campaign harnesses
+// (cmd/bench) benchmark the same workloads the paper evaluates.
+func SettingConfig(s Setting) sim.Config {
 	cfg := sim.DefaultConfig()
 	cfg.Comms = s.Comms
 	cfg.Sensor = s.Sensor
 	return cfg
 }
+
+// baseSim is the internal alias used by the table/figure experiments.
+func baseSim(s Setting) sim.Config { return SettingConfig(s) }
 
 // agents builds the three evaluation agents (pure, basic, ultimate) with
 // their matching filter configurations.

@@ -1,0 +1,153 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/dynamics"
+	"safeplan/internal/sensor"
+)
+
+// Metamorphic test of the Kalman rollback/replay machinery (the Fig. 3
+// extension): delivering the same message set late — each message delayed
+// past several sensor readings — must converge to the same posterior as
+// delivering it in order.  Rollback/replay exists precisely to make
+// delivery *timing* irrelevant as long as the information content is the
+// same; this test states that property directly.
+
+// event is one delivery: either a message or a reading, at a given arrival
+// time.
+type event struct {
+	arrival float64
+	msg     *comms.Message
+	reading *sensor.Reading
+}
+
+// buildTruth simulates the observed vehicle for the duration and returns
+// its in-order messages (every msgEvery) and noisy readings (every dt).
+func buildTruth(rng *rand.Rand, duration, dt, msgEvery, delta float64) (msgs []comms.Message, readings []sensor.Reading) {
+	s := dynamics.State{P: -40, V: 8}
+	a := 0.0
+	nextMsg := 0.0
+	for t := 0.0; t < duration; t += dt {
+		if t >= nextMsg {
+			msgs = append(msgs, comms.Message{T: t, P: s.P, V: s.V, A: a})
+			nextMsg += msgEvery
+		}
+		readings = append(readings, sensor.Reading{
+			T: t,
+			P: s.P + (rng.Float64()*2-1)*delta,
+			V: s.V + (rng.Float64()*2-1)*delta,
+			A: a,
+		})
+		if rng.Intn(5) == 0 {
+			a = lim.AMin + rng.Float64()*(lim.AMax-lim.AMin)
+		}
+		s, a = dynamics.Step(s, a, dt, lim)
+	}
+	return msgs, readings
+}
+
+// deliver feeds events to a fresh replay-enabled Kalman filter in arrival
+// order (readings before messages at equal arrival times, mimicking the
+// simulator's step ordering).
+func deliver(t *testing.T, events []event) *Filter {
+	t.Helper()
+	f := newFilter(t, true, 1)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].arrival < events[j].arrival })
+	for _, e := range events {
+		if e.reading != nil {
+			f.OnReading(*e.reading)
+		} else {
+			f.OnMessage(*e.msg)
+		}
+	}
+	return f
+}
+
+func TestMetamorphicReplayMatchesInOrder(t *testing.T) {
+	const (
+		duration = 12.0
+		dt       = 0.05
+		msgEvery = 0.1
+		delta    = 1.0
+		tol      = 1e-9
+	)
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		msgs, readings := buildTruth(rng, duration, dt, msgEvery, delta)
+
+		inOrder := make([]event, 0, len(msgs)+len(readings))
+		delayed := make([]event, 0, len(msgs)+len(readings))
+		for i := range readings {
+			inOrder = append(inOrder, event{arrival: readings[i].T, reading: &readings[i]})
+			delayed = append(delayed, event{arrival: readings[i].T, reading: &readings[i]})
+		}
+		for i := range msgs {
+			inOrder = append(inOrder, event{arrival: msgs[i].T, msg: &msgs[i]})
+			// Each message is delayed by a random multiple of the control
+			// period (0.1 s – 0.5 s), so it lands after 2–10 readings that
+			// the Kalman filter must roll back over and replay.  Delays are
+			// per-message, so late messages arrive *interleaved* differently
+			// than they were sent — but never out of timestamp order beyond
+			// what OnMessage's staleness guard discards in both scenarios
+			// equally (delay grows with the index, preserving send order).
+			d := 0.1 + 0.05*float64(rng.Intn(9))
+			delayed = append(delayed, event{arrival: msgs[i].T + d, msg: &msgs[i]})
+		}
+
+		fa := deliver(t, inOrder)
+		fb := deliver(t, delayed)
+
+		// Compare the posteriors at the end of the episode, after every
+		// delayed message has arrived and been replayed.
+		q := duration + 1.0
+		ea, eb := fa.EstimateAt(q), fb.EstimateAt(q)
+		for _, c := range []struct {
+			name string
+			a, b float64
+		}{
+			{"P.Lo", ea.P.Lo, eb.P.Lo},
+			{"P.Hi", ea.P.Hi, eb.P.Hi},
+			{"V.Lo", ea.V.Lo, eb.V.Lo},
+			{"V.Hi", ea.V.Hi, eb.V.Hi},
+			{"PointP", ea.PointP, eb.PointP},
+			{"PointV", ea.PointV, eb.PointV},
+		} {
+			if math.Abs(c.a-c.b) > tol {
+				t.Fatalf("seed %d: %s diverged after replay: in-order %v vs delayed %v",
+					seed, c.name, c.a, c.b)
+			}
+		}
+	}
+}
+
+// TestMetamorphicDroppedTailIsStale is the boundary case: a message that
+// arrives so late that a *newer* message beat it must be ignored entirely —
+// the posterior must equal that of never sending it.
+func TestMetamorphicDroppedTailIsStale(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	msgs, readings := buildTruth(rng, 6.0, 0.05, 0.1, 1.0)
+
+	base := make([]event, 0, len(readings)+len(msgs))
+	overtaken := make([]event, 0, len(readings)+len(msgs)+1)
+	for i := range readings {
+		base = append(base, event{arrival: readings[i].T, reading: &readings[i]})
+		overtaken = append(overtaken, event{arrival: readings[i].T, reading: &readings[i]})
+	}
+	for i := range msgs {
+		base = append(base, event{arrival: msgs[i].T, msg: &msgs[i]})
+		overtaken = append(overtaken, event{arrival: msgs[i].T, msg: &msgs[i]})
+	}
+	// Re-deliver an old message long after newer ones: pure staleness.
+	overtaken = append(overtaken, event{arrival: 100, msg: &msgs[0]})
+
+	ea := deliver(t, base).EstimateAt(7)
+	eb := deliver(t, overtaken).EstimateAt(7)
+	if ea.P != eb.P || ea.V != eb.V || ea.PointP != eb.PointP || ea.PointV != eb.PointV {
+		t.Fatalf("stale re-delivery changed the posterior: %+v vs %+v", ea, eb)
+	}
+}

@@ -114,12 +114,12 @@ func decodeScript(r *fuzzReader, aMin, aMax float64, maxLen int) []float64 {
 }
 
 // FuzzCompoundSafety decodes arbitrary bytes into a disturbance schedule
-// plus a scripted oncoming behaviour and asserts the paper's safety
-// guarantee: the compound planner never collides (η ≥ 0), no matter what
-// the channel, the sensors, or the other vehicle do.  Without the Kalman
-// component the fused estimate equals the sound intersection, so any
-// soundness violation found here is a real bug in the disturbance
-// threading.
+// plus a scripted oncoming behaviour and asserts the paper's guarantees via
+// the shared invariant checkers: the compound planner never collides (η ≥
+// 0), the sound estimate always contains the true oncoming state, κ_e
+// preserves the Eq. 4 one-step slack, and the agent hands control to κ_e
+// exactly when the monitor's X_b test says so — no matter what the channel,
+// the sensors, or the other vehicle do.
 func FuzzCompoundSafety(f *testing.F) {
 	// Seed corpus: the paper's Table I/II settings (none / delayed with
 	// Δt_d = 0.25, p_d = 0.5 / lost), a burst channel, and a blackout
@@ -149,15 +149,16 @@ func FuzzCompoundSafety(f *testing.F) {
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("decoder produced invalid config: %v", err)
 		}
-		res, err := Run(cfg, agent, Options{Seed: seed})
+		// The full invariant set — the same checkers the campaign engine and
+		// the unit tests run (see invariant.go) — enforced on every step.
+		_, err := Run(cfg, agent, Options{Seed: seed, Invariants: []Invariant{
+			NoCollision{},
+			SoundEstimate{},
+			EmergencyOneStep{Cfg: cfg.Scenario},
+			NewMonitorConsistency(cfg.Scenario),
+		}})
 		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Collided || res.Eta < 0 {
-			t.Fatalf("compound planner collided (η = %v) under %+v", res.Eta, cfg.Comms)
-		}
-		if res.SoundnessViolations > 0 {
-			t.Fatalf("%d sound-estimate violations without the Kalman component", res.SoundnessViolations)
+			t.Fatalf("invariant violated under %+v: %v", cfg.Comms, err)
 		}
 	})
 }

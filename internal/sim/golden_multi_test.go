@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/planner"
+)
+
+// goldenMultiRow is one seed's episode outcome in the multi-vehicle golden
+// regression.  RunMulti has no per-step trace, so the regression pins the
+// per-seed *results* instead: every field is part of the closed-loop RNG
+// contract, and any drift — stream construction order, filter changes,
+// spacing sampling — shows up as a byte diff.
+type goldenMultiRow struct {
+	Seed           int64   `json:"seed"`
+	Reached        bool    `json:"reached"`
+	Collided       bool    `json:"collided"`
+	Steps          int     `json:"steps"`
+	EmergencySteps int     `json:"emergency_steps"`
+	ReachTime      float64 `json:"reach_time"`
+	Eta            float64 `json:"eta"`
+}
+
+// TestGoldenMulti replays a canonical multi-vehicle scenario (three-vehicle
+// stream, delayed comms, ultimate design) over a fixed seed range and
+// byte-compares the outcomes against the blessed file.  Run with -update to
+// re-bless after an intentional behaviour change.
+func TestGoldenMulti(t *testing.T) {
+	cfg := DefaultMultiConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	cfg.InfoFilter = true
+	sc := cfg.Scenario
+	agent := core.NewMultiUltimate(sc, planner.ConservativeExpert(sc))
+
+	rows := make([]goldenMultiRow, 0, 20)
+	for seed := int64(1); seed <= 20; seed++ {
+		res, err := RunMulti(cfg, agent, Options{
+			Seed: seed,
+			// The goldens double as an invariant regression: the canonical
+			// episodes must pass the full checker set forever.
+			Invariants: []Invariant{NoCollision{}, SoundEstimate{}, EmergencyOneStep{Cfg: sc}},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rows = append(rows, goldenMultiRow{
+			Seed:           seed,
+			Reached:        res.Reached,
+			Collided:       res.Collided,
+			Steps:          res.Steps,
+			EmergencySteps: res.EmergencySteps,
+			ReachTime:      res.ReachTime,
+			Eta:            res.Eta,
+		})
+	}
+	got, err := json.MarshalIndent(rows, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden_multi.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/sim -run TestGoldenMulti -update` to bless)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("multi-vehicle golden drifted:\n got: %s\nre-bless with -update only if the change is intentional", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
+	"safeplan/internal/disturb"
 	"safeplan/internal/planner"
 	"safeplan/internal/sensor"
 	"safeplan/internal/telemetry"
@@ -50,8 +51,9 @@ func (r *reasonRecorder) OnMonitorDecision(reason string) {
 	r.mu.Unlock()
 }
 
-// goldenEpisodes are the three canonical paper settings, run with the
-// ultimate compound planner (conservative κ_n) under a fixed seed.
+// goldenEpisodes are the three canonical paper settings plus the bursty
+// Gilbert–Elliott disturbance preset, run with the ultimate compound
+// planner (conservative κ_n) under a fixed seed.
 func goldenEpisodes() []struct {
 	Name string
 	Cfg  Config
@@ -62,7 +64,13 @@ func goldenEpisodes() []struct {
 	lost := DefaultConfig()
 	lost.Comms = comms.Lost()
 	lost.Sensor = sensor.Uniform(2)
-	for _, c := range []*Config{&none, &delayed, &lost} {
+	burst := DefaultConfig()
+	bm, err := disturb.Preset("burst")
+	if err != nil {
+		panic(err)
+	}
+	burst.Comms = comms.Disturbed(bm)
+	for _, c := range []*Config{&none, &delayed, &lost, &burst} {
 		c.InfoFilter = true
 	}
 	return []struct {
@@ -72,6 +80,7 @@ func goldenEpisodes() []struct {
 		{"none", none},
 		{"delayed", delayed},
 		{"lost", lost},
+		{"burst", burst},
 	}
 }
 

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/dynamics"
+	"safeplan/internal/leftturn"
+	"safeplan/internal/planner"
+	"safeplan/internal/sensor"
+)
+
+// brokenEmergency wraps a compound agent and sabotages the emergency
+// planner: whenever the monitor hands control to κ_e, it commands full
+// throttle instead of the stopping command.  Test-only — it exists to prove
+// the EmergencyOneStep checker actually detects a broken κ_e rather than
+// vacuously passing.
+type brokenEmergency struct {
+	inner core.Agent
+	cfg   leftturn.Config
+}
+
+func (b brokenEmergency) Name() string { return "broken-emergency:" + b.inner.Name() }
+
+func (b brokenEmergency) Accel(t float64, ego dynamics.State, k core.Knowledge) (float64, bool) {
+	a, emergency := b.inner.Accel(t, ego, k)
+	if emergency {
+		return b.cfg.Ego.AMax, true
+	}
+	return a, emergency
+}
+
+// invariantConfig is a communication setting harsh enough that the monitor
+// regularly selects κ_e, so the emergency checkers get exercised.
+func invariantConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	return cfg
+}
+
+func fullInvariants(sc leftturn.Config) []Invariant {
+	return []Invariant{
+		NoCollision{},
+		SoundEstimate{},
+		EmergencyOneStep{Cfg: sc},
+		NewMonitorConsistency(sc),
+	}
+}
+
+// TestBrokenEmergencyTripsOneStepChecker is the checker's acceptance test:
+// a compound agent with a sabotaged κ_e must trip the Eq. 4 one-step
+// invariant, and the violation must identify that checker by name.
+func TestBrokenEmergencyTripsOneStepChecker(t *testing.T) {
+	cfg := invariantConfig()
+	sc := cfg.Scenario
+	// The aggressive expert regularly drives the ego into the boundary safe
+	// set, so κ_e — here, the sabotaged one — actually gets control.
+	agent := brokenEmergency{inner: core.NewBasic(sc, planner.AggressiveExpert(sc)), cfg: sc}
+	opts := Options{Invariants: []Invariant{EmergencyOneStep{Cfg: sc}}}
+	tripped := 0
+	for seed := int64(1); seed <= 50; seed++ {
+		opts.Seed = seed
+		_, err := Run(cfg, agent, opts)
+		if err == nil {
+			continue
+		}
+		var v *ViolationError
+		if !errors.As(err, &v) {
+			t.Fatalf("seed %d: unexpected non-violation error %v", seed, err)
+		}
+		if v.Invariant != (EmergencyOneStep{}).Name() {
+			t.Fatalf("seed %d: wrong invariant %q in %v", seed, v.Invariant, err)
+		}
+		if math.IsNaN(v.T) {
+			t.Fatalf("seed %d: step-level violation lost its timestamp: %v", seed, err)
+		}
+		tripped++
+	}
+	if tripped == 0 {
+		t.Fatal("sabotaged emergency planner never tripped the one-step checker in 50 seeds")
+	}
+}
+
+// TestGuaranteedAgentsPassAllInvariants sweeps the guaranteed designs
+// through every checker under disturbed communications: zero violations.
+func TestGuaranteedAgentsPassAllInvariants(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"none":    func(*Config) {},
+		"delayed": func(c *Config) { c.Comms = comms.Delayed(0.25, 0.5) },
+		"lost":    func(c *Config) { c.Comms = comms.Lost(); c.Sensor = sensor.Uniform(2.0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			mutate(&cfg)
+			sc := cfg.Scenario
+			for _, agent := range []core.Agent{
+				core.NewBasic(sc, planner.ConservativeExpert(sc)),
+				core.NewBasic(sc, planner.AggressiveExpert(sc)),
+			} {
+				opts := Options{Invariants: fullInvariants(sc)}
+				for seed := int64(1); seed <= 25; seed++ {
+					opts.Seed = seed
+					if _, err := Run(cfg, agent, opts); err != nil {
+						t.Fatalf("agent %s seed %d: %v", agent.Name(), seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSoundEstimateCheckerDetectsUnsoundFilter: the pure-NN design carries
+// no guarantee, but its *estimates* are still sound, so SoundEstimate must
+// pass even where NoCollision fails.  Conversely NoCollision must trip on
+// at least one pure-κ_n collision under disturbance — the paper's baseline
+// result, restated as a checker test.
+func TestNoCollisionTripsOnPureNN(t *testing.T) {
+	cfg := invariantConfig()
+	sc := cfg.Scenario
+	agent := &core.PureNN{Cfg: sc, Planner: planner.AggressiveExpert(sc)}
+	opts := Options{Invariants: []Invariant{NoCollision{}, SoundEstimate{}}}
+	tripped := 0
+	for seed := int64(1); seed <= 200 && tripped == 0; seed++ {
+		opts.Seed = seed
+		_, err := Run(cfg, agent, opts)
+		if err == nil {
+			continue
+		}
+		var v *ViolationError
+		if !errors.As(err, &v) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v.Invariant != (NoCollision{}).Name() {
+			t.Fatalf("seed %d: expected a no-collision violation, got %v", seed, err)
+		}
+		if !math.IsNaN(v.T) {
+			t.Fatalf("seed %d: episode-level violation carries a step time: %v", seed, err)
+		}
+		tripped++
+	}
+	if tripped == 0 {
+		t.Fatal("pure κ_n never collided in 200 delayed-comms seeds; baseline fixture is broken")
+	}
+}
+
+// TestInvariantsThreadThroughMulti exercises the per-track step checks in
+// the multi-vehicle loop.
+func TestInvariantsThreadThroughMulti(t *testing.T) {
+	cfg := DefaultMultiConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	sc := cfg.Scenario
+	agent := core.NewMultiBasic(sc, planner.ConservativeExpert(sc))
+	for seed := int64(1); seed <= 10; seed++ {
+		_, err := RunMulti(cfg, agent, Options{
+			Seed:       seed,
+			Invariants: []Invariant{NoCollision{}, SoundEstimate{}, EmergencyOneStep{Cfg: sc}},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

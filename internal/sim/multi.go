@@ -78,9 +78,16 @@ type oncomingTrack struct {
 // RunMulti simulates one episode with a stream of oncoming vehicles.  The
 // episode ends at the first collision with any vehicle, when the ego
 // clears the zone, or at the horizon.
-func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, error) {
+func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if len(opts.Invariants) > 0 {
+		defer func() {
+			if err == nil {
+				err = CheckEpisodeInvariants(opts.Invariants, &res)
+			}
+		}()
 	}
 	horizon := cfg.Horizon
 	if horizon == 0 {
@@ -141,12 +148,12 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, err
 	sensTick := comms.NewTicker(cfg.DtS)
 	sensTick.Due(0)
 
-	var res Result
 	coll := opts.Collector
 	defer ReportOutcome(coll, opts.Seed, &res)
 	dt := sc.DtC
 	maxSteps := int(horizon/dt) + 1
 	ks := make([]core.Knowledge, len(tracks))
+	ests := make([]fusion.Estimate, len(tracks))
 	for step := 0; step < maxSteps; step++ {
 		t := float64(step) * dt
 
@@ -172,6 +179,7 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, err
 				}
 			}
 			est := tr.filter.EstimateAt(t)
+			ests[i] = est
 			if !est.P.Contains(tr.state.P) || !est.V.Contains(tr.state.V) {
 				res.SoundnessViolations++
 			}
@@ -198,6 +206,16 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, err
 		}
 		if emergency {
 			res.EmergencySteps++
+		}
+		if len(opts.Invariants) > 0 {
+			for i, tr := range tracks {
+				if ierr := CheckStepInvariants(opts.Invariants, StepInfo{
+					T: t, Vehicle: i, Ego: ego, Other: tr.state, OtherA: tr.accel,
+					Est: ests[i], Accel: a0, Emergency: emergency,
+				}); ierr != nil {
+					return res, ierr
+				}
+			}
 		}
 
 		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)

@@ -202,6 +202,12 @@ type Options struct {
 	// share one collector across workers, so it must be concurrency-safe
 	// (telemetry.Metrics is).
 	Collector telemetry.Collector
+
+	// Invariants are runtime checkers evaluated once per control step
+	// (per observed vehicle) and once per finished episode.  A violation
+	// aborts the episode with a *ViolationError.  Checkers must be
+	// stateless: campaign runners share them across workers.
+	Invariants []Invariant
 }
 
 // ReportOutcome forwards a finished episode to the collector (a no-op on
@@ -224,9 +230,16 @@ func ReportOutcome(c telemetry.Collector, seed int64, r *Result) {
 }
 
 // Run simulates one episode of agent under cfg and returns its Result.
-func Run(cfg Config, agent core.Agent, opts Options) (Result, error) {
+func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if len(opts.Invariants) > 0 {
+		defer func() {
+			if err == nil {
+				err = CheckEpisodeInvariants(opts.Invariants, &res)
+			}
+		}()
 	}
 	horizon := cfg.Horizon
 	if horizon == 0 {
@@ -288,7 +301,6 @@ func Run(cfg Config, agent core.Agent, opts Options) (Result, error) {
 	sensTick := comms.NewTicker(cfg.DtS)
 	sensTick.Due(0)
 
-	var res Result
 	var oncA float64
 	var lastMeas *sensor.Reading
 
@@ -361,6 +373,14 @@ func Run(cfg Config, agent core.Agent, opts Options) (Result, error) {
 		}
 		if emergency {
 			res.EmergencySteps++
+		}
+		if len(opts.Invariants) > 0 {
+			if ierr := CheckStepInvariants(opts.Invariants, StepInfo{
+				T: t, Ego: ego, Other: onc, OtherA: oncA,
+				Est: est, Accel: a0, Emergency: emergency,
+			}); ierr != nil {
+				return res, ierr
+			}
 		}
 
 		if opts.Trace {

@@ -104,6 +104,47 @@ type HistogramSnapshot struct {
 	Max     float64   `json:"max"`
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// inside the bucket that contains it.  The first bucket interpolates from
+// Min, the overflow bucket toward Max, and the result is clamped into
+// [Min, Max]; an empty histogram returns NaN.  The estimate is exact at
+// the bucket bounds and monotone in q, which is all a latency report
+// (p50/p99) needs from fixed-bucket data.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo := s.Min
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Max
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
+			}
+			frac := (target - cum) / float64(n)
+			v := lo + frac*(hi-lo)
+			return math.Min(math.Max(v, s.Min), s.Max)
+		}
+		cum = next
+	}
+	return s.Max
+}
+
 // Snapshot copies the histogram's current state.  Concurrent Observe
 // calls may land between field reads; each field is individually
 // consistent, which is all a monitoring dump needs.

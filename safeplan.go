@@ -28,6 +28,7 @@ package safeplan
 import (
 	"fmt"
 
+	"safeplan/internal/campaign"
 	"safeplan/internal/carfollow"
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
@@ -372,6 +373,65 @@ func RunCampaign(cfg SimConfig, agent Agent, n int, baseSeed int64, opts ...RunO
 		return CampaignStats{}, wrapErr(err)
 	}
 	return eval.Aggregate(rs), nil
+}
+
+// Sharded Monte-Carlo campaign engine (internal/campaign): deterministic
+// parallel campaigns with online statistics (Welford moments, Wilson
+// confidence intervals, latency percentiles), pluggable invariant checkers,
+// and checkpoint/resume.  Aggregate statistics are bit-identical for any
+// worker count.
+type (
+	// CampaignSpec configures a sharded campaign (episodes, base seed,
+	// workers, invariants, checkpoint path).
+	CampaignSpec = campaign.Spec
+	// CampaignReport is a finished campaign: deterministic Stats plus
+	// wall-clock Perf.
+	CampaignReport = campaign.Report
+	// CampaignEpisodeFunc runs one episode under campaign-filled options.
+	CampaignEpisodeFunc = campaign.EpisodeFunc
+	// EpisodeOptions is the per-episode options payload a campaign hands an
+	// episode function (seed and invariants filled by the runner).  Named
+	// here so custom CampaignEpisodeFunc implementations — not just the
+	// three scenario adapters — can be written against the facade.
+	EpisodeOptions = sim.Options
+
+	// Invariant is a runtime safety checker threaded through the step loop;
+	// the same checkers run in unit tests, fuzz targets, and campaigns.
+	Invariant = sim.Invariant
+	// InvariantViolation is the error an Invariant reports.
+	InvariantViolation = sim.ViolationError
+)
+
+// Campaign episode adapters for the three scenarios.
+var (
+	// LeftTurnCampaign adapts the single-vehicle left-turn runner.
+	LeftTurnCampaign = campaign.LeftTurn
+	// MultiVehicleCampaign adapts the multi-vehicle runner.
+	MultiVehicleCampaign = campaign.MultiVehicle
+	// CarFollowCampaign adapts the car-following runner.
+	CarFollowCampaign = campaign.CarFollow
+)
+
+// RunShardedCampaign executes a deterministic sharded campaign; see
+// CampaignSpec for the knobs and internal/campaign for the determinism
+// contract.
+func RunShardedCampaign(spec CampaignSpec, episode CampaignEpisodeFunc) (*CampaignReport, error) {
+	rep, err := campaign.Run(spec, episode)
+	return rep, wrapErr(err)
+}
+
+// StandardInvariants returns the full checker set for guaranteed left-turn
+// compound designs: no collision (η ≥ 0), sound estimates contain the true
+// state, the Eq. 4 emergency one-step slack, and monitor-selects-κ_e-iff-X_b
+// consistency.  Attach them via CampaignSpec.Invariants; do not attach
+// NoCollision to pure κ_n agents, which carry no guarantee.
+func StandardInvariants(sc Scenario) []Invariant {
+	return []Invariant{
+		sim.NoCollision{},
+		sim.SoundEstimate{},
+		sim.EmergencyOneStep{Cfg: sc},
+		sim.NewMonitorConsistency(sc),
+	}
 }
 
 // WinningPercentage compares two paired η series (see eval).
