@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-campaign bench-seed campaign-smoke golden fuzz-smoke lint-extra
+.PHONY: build test check bench bench-campaign bench-seed bench-guard campaign-smoke guard-smoke golden fuzz-smoke lint-extra
 
 build:
 	$(GO) build ./...
@@ -10,12 +10,14 @@ test: build
 	$(GO) test ./...
 
 # Full gate: vet + the whole suite under the race detector (includes the
-# concurrent-campaign telemetry tests), then the golden-trace regression
-# and a short fuzzing smoke pass over the safety invariants.
+# concurrent-campaign telemetry tests), then the golden-trace regression,
+# the guarded-planner fuzz seed corpus, and a short fuzzing smoke pass
+# over the safety invariants.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run TestGolden ./internal/sim
+	$(GO) test -run FuzzGuardedPlanner ./internal/sim
 	$(MAKE) fuzz-smoke
 
 # Re-bless the golden traces after an intentional behaviour change.
@@ -27,6 +29,7 @@ golden:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCompoundSafety -fuzztime 20s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzCarFollowSafety -fuzztime 20s ./internal/carfollow
+	$(GO) test -run '^$$' -fuzz FuzzGuardedPlanner -fuzztime 20s ./internal/sim
 
 # Optional linters: run them when the tools are installed, skip quietly
 # when they are not (the container does not ship them).
@@ -53,3 +56,14 @@ bench-seed:
 # fail mode; exits nonzero on the first violation.
 campaign-smoke:
 	$(GO) run ./cmd/bench -smoke
+
+# Guard CI gate: the acceptance worst cases (half of all planner calls
+# panicking / returning NaN) over 10k episodes each, containment checkers
+# in fail mode.
+guard-smoke:
+	$(GO) run ./cmd/bench -smoke -guard
+
+# Compute-fault matrix: one guarded campaign per planner-fault preset;
+# writes BENCH_guard.json with mean η and crash-free rate per preset.
+bench-guard:
+	$(GO) run ./cmd/bench -guard -out BENCH_guard.json

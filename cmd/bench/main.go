@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bench [-episodes 5000] [-workers 0] [-seed 42] [-out BENCH_campaign.json]
-//	      [-quick] [-smoke] [-checkpoint DIR]
+//	      [-quick] [-smoke] [-guard] [-checkpoint DIR]
 //
 // The default matrix covers the paper's three communication settings (none,
 // delayed, lost) for both expert planners under the ultimate compound
@@ -18,13 +18,22 @@
 // -quick shrinks the matrix for fast regression snapshots (BENCH_seed.json);
 // -smoke runs a single 10k-episode campaign with the checkers in fail mode
 // and exits nonzero on the first violation — the CI safety gate.
-// -checkpoint enables per-campaign checkpoint/resume in the given directory:
-// an interrupted bench rerun resumes completed shards instead of redoing
-// them.
+// -guard switches to the compute-fault matrix: one campaign per planner-
+// fault preset under the guarded ultimate design, reporting mean η and the
+// crash-free rate per preset (BENCH_guard.json).  -guard -smoke is the
+// guard's own CI gate: the acceptance worst cases (PanicP and NaNOutput at
+// p = 0.5) over 10k episodes each with the containment checkers in fail
+// mode.
+// -checkpoint enables per-campaign checkpoint/resume in the given
+// directory: an interrupted bench rerun resumes completed shards instead
+// of redoing them.  A corrupt checkpoint file is discarded with a warning
+// and the campaign restarts fresh — resumption is an optimization, the
+// aggregates are recomputable.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +47,8 @@ import (
 	"safeplan/internal/core"
 	"safeplan/internal/disturb"
 	"safeplan/internal/experiments"
+	"safeplan/internal/faultinject"
+	"safeplan/internal/guard"
 	"safeplan/internal/planner"
 	"safeplan/internal/sim"
 )
@@ -86,12 +97,17 @@ func main() {
 		out        = flag.String("out", "BENCH_campaign.json", "output report path (- for stdout)")
 		quick      = flag.Bool("quick", false, "small matrix for regression snapshots (500 episodes unless -episodes is set)")
 		smoke      = flag.Bool("smoke", false, "CI safety gate: one 10k-episode campaign, invariants in fail mode")
+		guardMode  = flag.Bool("guard", false, "compute-fault matrix: one campaign per planner-fault preset under the guarded design")
 		checkpoint = flag.String("checkpoint", "", "directory for per-campaign checkpoints (enables resume)")
 	)
 	flag.Parse()
 
 	if *smoke {
-		runSmoke(*workers, *seed)
+		if *guardMode {
+			runGuardSmoke(*workers, *seed)
+		} else {
+			runSmoke(*workers, *seed)
+		}
 		return
 	}
 
@@ -102,6 +118,15 @@ func main() {
 	w := *workers
 	if w == 0 {
 		w = runtime.GOMAXPROCS(0)
+	}
+
+	if *guardMode {
+		o := *out
+		if !flagPassed("out") {
+			o = "BENCH_guard.json"
+		}
+		runGuardMatrix(n, w, *seed, o, *checkpoint)
+		return
 	}
 
 	report := benchReport{
@@ -128,7 +153,7 @@ func main() {
 		if *checkpoint != "" {
 			spec.CheckpointPath = filepath.Join(*checkpoint, sanitize(wl.name)+".json")
 		}
-		rep, err := campaign.Run(spec, campaign.LeftTurn(wl.cfg, wl.agent))
+		rep, err := runCampaign(spec, campaign.LeftTurn(wl.cfg, wl.agent))
 		if err != nil {
 			log.Fatalf("campaign %s: %v", wl.name, err)
 		}
@@ -169,6 +194,23 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%d campaigns)", *out, len(report.Campaigns))
+}
+
+// runCampaign executes a spec, degrading gracefully when its checkpoint
+// file is corrupt (truncated, bit-flipped, version-skewed): the file is
+// discarded with a warning and the campaign restarts fresh.  A
+// *fingerprint* mismatch still fails — that checkpoint belongs to a
+// different campaign and discarding it would hide the caller's mistake.
+func runCampaign(spec campaign.Spec, ep campaign.EpisodeFunc) (*campaign.Report, error) {
+	rep, err := campaign.Run(spec, ep)
+	if err != nil && spec.CheckpointPath != "" && errors.Is(err, campaign.ErrCorruptCheckpoint) {
+		log.Printf("WARNING: %v — discarding and restarting fresh", err)
+		if rmErr := os.Remove(spec.CheckpointPath); rmErr != nil && !os.IsNotExist(rmErr) {
+			return nil, rmErr
+		}
+		rep, err = campaign.Run(spec, ep)
+	}
+	return rep, err
 }
 
 // canonicalMatrix builds the benchmark workloads: the paper's three
@@ -254,6 +296,157 @@ func runSmoke(workers int, seed int64) {
 	fmt.Printf("smoke OK: %d episodes, safe %d/%d, %.0f eps/s, emergency episodes %d\n",
 		rep.Stats.Episodes, rep.Stats.Episodes-rep.Stats.Collided, rep.Stats.Episodes,
 		rep.Perf.EpisodesPerSec, rep.Stats.EmergencyEpisodes)
+}
+
+// guardBenchReport is the file layout of BENCH_guard.json: one guarded
+// campaign per planner-fault preset.
+type guardBenchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+
+	EpisodesPerCampaign int   `json:"episodes_per_campaign"`
+	BaseSeed            int64 `json:"base_seed"`
+	Workers             int   `json:"workers"`
+
+	Campaigns []*guardCampaignReport `json:"campaigns"`
+}
+
+// guardCampaignReport is one preset's row of the fault matrix.
+type guardCampaignReport struct {
+	Preset string `json:"preset"`
+	// MeanEta is the efficiency score under contained faults — the cost
+	// of degradation, to compare against the preset "none" baseline.
+	MeanEta float64 `json:"mean_eta"`
+	// CrashFreeRate is the fraction of episodes that completed without an
+	// uncontained planner crash.  The guard recovers every injected
+	// panic, so this must be 1 for every preset; an episode that
+	// crashed would abort its campaign and the whole bench run.
+	CrashFreeRate float64 `json:"crash_free_rate"`
+
+	Report *campaign.Report `json:"report"`
+}
+
+// faultInvariantSet is the fail-mode checker set under planner faults.
+// MonitorConsistency is absent by design: a guard-forced κ_e step
+// diverges from the monitor's verdict — that divergence is the
+// containment the remaining checkers assert.
+func faultInvariantSet(cfg sim.Config) []sim.Invariant {
+	return []sim.Invariant{
+		sim.NoCollision{},
+		sim.SoundEstimate{},
+		sim.EmergencyOneStep{Cfg: cfg.Scenario},
+		sim.NewGuardConsistency(cfg.Scenario),
+	}
+}
+
+// runGuardMatrix runs one guarded campaign per planner-fault preset and
+// writes BENCH_guard.json.  The containment invariants run in counting
+// mode so the report doubles as a fault-tolerance audit: every
+// invariant_violations counter must be zero and every crash_free_rate 1.
+func runGuardMatrix(n, w int, seed int64, out, checkpoint string) {
+	report := guardBenchReport{
+		GeneratedBy:         "cmd/bench -guard",
+		GoVersion:           runtime.Version(),
+		GOOS:                runtime.GOOS,
+		GOARCH:              runtime.GOARCH,
+		NumCPU:              runtime.NumCPU(),
+		EpisodesPerCampaign: n,
+		BaseSeed:            seed,
+		Workers:             w,
+	}
+	for _, preset := range faultinject.PresetNames() {
+		m, err := faultinject.Preset(preset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.InfoFilter = true
+		cfg.PlannerFault = m
+		gc := guard.DefaultConfig(cfg.Scenario.Ego)
+		cfg.Guard = &gc
+		agent := core.NewUltimate(cfg.Scenario, planner.ConservativeExpert(cfg.Scenario))
+		spec := campaign.Spec{
+			Name:            "fault-" + preset + "/ultimate-conservative",
+			Episodes:        n,
+			BaseSeed:        seed,
+			Workers:         w,
+			Invariants:      faultInvariantSet(cfg),
+			CountViolations: true,
+		}
+		if checkpoint != "" {
+			spec.CheckpointPath = filepath.Join(checkpoint, sanitize(spec.Name)+".json")
+		}
+		rep, err := runCampaign(spec, campaign.LeftTurn(cfg, agent))
+		if err != nil {
+			log.Fatalf("campaign %s: %v", spec.Name, err)
+		}
+		for name, v := range rep.Stats.InvariantViolations {
+			if v != 0 {
+				log.Fatalf("campaign %s: invariant %s violated %d times", spec.Name, name, v)
+			}
+		}
+		row := &guardCampaignReport{
+			Preset:        preset,
+			MeanEta:       rep.Stats.Eta.Mean,
+			CrashFreeRate: 1, // campaign.Run fails on any uncontained crash
+			Report:        rep,
+		}
+		report.Campaigns = append(report.Campaigns, row)
+		log.Printf("%-28s %6d eps  %8.0f eps/s  η %.4f  faults %d  fallback rate %.4f",
+			spec.Name, rep.Stats.Episodes, rep.Perf.EpisodesPerSec,
+			row.MeanEta, rep.Stats.GuardFaults, rep.Stats.GuardFallbackStepRate)
+	}
+
+	raw, err := json.MarshalIndent(report, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if out == "-" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d fault campaigns)", out, len(report.Campaigns))
+}
+
+// runGuardSmoke is the guard's CI gate: the acceptance worst cases —
+// half of all planner calls panicking, half returning NaN — over 10k
+// episodes each, containment checkers in fail mode.  Any escaped panic,
+// collision, burned κ_e slack, or malformed guard intervention fails the
+// process.
+func runGuardSmoke(workers int, seed int64) {
+	cases := []struct {
+		name  string
+		model faultinject.Model
+	}{
+		{"panic-half", faultinject.PanicP{P: 0.5}},
+		{"nan-half", faultinject.NaNOutput{P: 0.5}},
+	}
+	for _, c := range cases {
+		cfg := sim.DefaultConfig()
+		cfg.InfoFilter = true
+		cfg.PlannerFault = c.model
+		agent := core.NewUltimate(cfg.Scenario, planner.ConservativeExpert(cfg.Scenario))
+		rep, err := campaign.Run(campaign.Spec{
+			Name:       "guard-smoke/" + c.name,
+			Episodes:   10_000,
+			BaseSeed:   seed,
+			Workers:    workers,
+			Invariants: faultInvariantSet(cfg),
+		}, campaign.LeftTurn(cfg, agent))
+		if err != nil {
+			log.Fatalf("GUARD SMOKE FAILED (%s): %v", c.name, err)
+		}
+		fmt.Printf("guard smoke OK (%s): %d episodes, safe %d/%d, %d contained faults, %.0f eps/s\n",
+			c.name, rep.Stats.Episodes, rep.Stats.Episodes-rep.Stats.Collided,
+			rep.Stats.Episodes, rep.Stats.GuardFaults, rep.Perf.EpisodesPerSec)
+	}
 }
 
 // sanitize maps a campaign name onto a filename.

@@ -8,12 +8,17 @@
 //	         [-setting none|delayed|lost] [-seed 1] [-trace]
 //	         [-episodes N] [-workers N] [-metrics text|json]
 //	         [-disturb PRESET] [-sensordisturb PRESET]
+//	         [-guard] [-plannerfault PRESET]
 //	         [-models DIR]   (use trained NN planners instead of the experts)
 //
 // -disturb overrides the channel with a named adversarial disturbance
 // model (burst loss, jitter+reordering, stale replay, scripted blackout);
 // -sensordisturb injects sensing faults (bias drift, bursty dropout).
-// Run with an unknown name (e.g. -disturb list) to see the presets.
+// -guard wraps every planner call in the compute-fault guard;
+// -plannerfault injects a named compute-fault model into the planner
+// (panics, NaN outputs, stuck/biased commands, latency spikes) and
+// installs the guard automatically.  Run with an unknown name (e.g.
+// -disturb list) to see the presets.
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"safeplan/internal/disturb"
 	"safeplan/internal/eval"
 	"safeplan/internal/experiments"
+	"safeplan/internal/faultinject"
+	"safeplan/internal/guard"
 	"safeplan/internal/planner"
 	"safeplan/internal/sensor"
 	"safeplan/internal/sim"
@@ -49,6 +56,8 @@ func main() {
 		models   = flag.String("models", "", "directory with trained NN models (empty: analytic experts)")
 		dist     = flag.String("disturb", "", "adversarial channel disturbance preset (overrides -setting comms)")
 		sensDist = flag.String("sensordisturb", "", "adversarial sensing disturbance preset")
+		guardOn  = flag.Bool("guard", false, "wrap planner calls in the compute-fault guard")
+		plFault  = flag.String("plannerfault", "", "planner compute-fault preset (implies -guard)")
 	)
 	flag.Parse()
 
@@ -77,12 +86,26 @@ func main() {
 		}
 		cfg.SensorDisturb = m
 	}
+	if *guardOn {
+		gc := guard.DefaultConfig(cfg.Scenario.Ego)
+		cfg.Guard = &gc
+	}
+	if *plFault != "" {
+		m, err := faultinject.Preset(*plFault)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.PlannerFault = m
+	}
 	settingDesc := *setting
 	if *dist != "" {
 		settingDesc += " +disturb:" + *dist
 	}
 	if *sensDist != "" {
 		settingDesc += " +sensor:" + *sensDist
+	}
+	if *plFault != "" {
+		settingDesc += " +fault:" + *plFault
 	}
 
 	pl := experiments.ExpertPlanners(cfg.Scenario)
@@ -146,6 +169,7 @@ func main() {
 		fmt.Printf("setting:  %s  seeds: %d…%d\n", settingDesc, *seed, *seed+int64(*episodes)-1)
 		fmt.Printf("outcome:  safe %d/%d (%.2f%%), reached %d, mean η = %.4f\n",
 			st.Safe, st.N, 100*st.SafeRate(), st.Reached, st.MeanEta)
+		dumpCampaignGuard(rs)
 		dumpMetrics(coll, *metrics)
 		return
 	}
@@ -170,11 +194,46 @@ func main() {
 	}
 	fmt.Printf("steps:    %d, emergency steps: %d (%.2f%%)\n",
 		r.Steps, r.EmergencySteps, 100*r.EmergencyFrequency())
+	if r.Guard.PlannerCalls > 0 {
+		g := r.Guard
+		fmt.Printf("guard:    %d faults (%d panic, %d non-finite, %d range, %d deadline), "+
+			"fallbacks %d last-good + %d κ_e, bypass %d, worst state %s\n",
+			g.Faults, g.Panics, g.NonFinite, g.RangeRejects, g.Deadline,
+			g.FallbackLastGood, g.FallbackEmergency, g.BypassSteps, g.WorstState)
+	}
 	dumpMetrics(coll, *metrics)
 
 	if *trace {
 		dumpTrace(r)
 	}
+}
+
+// dumpCampaignGuard prints the summed guard counters of a campaign, or
+// nothing when no episode ran guarded.
+func dumpCampaignGuard(rs []sim.Result) {
+	var calls, faults, lastGood, emrg, bypass int
+	worst := guard.Nominal
+	episodesWithFaults := 0
+	for _, r := range rs {
+		g := r.Guard
+		calls += g.PlannerCalls
+		faults += g.Faults
+		lastGood += g.FallbackLastGood
+		emrg += g.FallbackEmergency
+		bypass += g.BypassSteps
+		if g.Faults > 0 {
+			episodesWithFaults++
+		}
+		if g.WorstState > worst {
+			worst = g.WorstState
+		}
+	}
+	if calls == 0 {
+		return
+	}
+	fmt.Printf("guard:    %d faults over %d episodes (%d with ≥1 fault), "+
+		"fallbacks %d last-good + %d κ_e, bypass %d, worst state %s\n",
+		faults, len(rs), episodesWithFaults, lastGood, emrg, bypass, worst)
 }
 
 // dumpMetrics prints the telemetry snapshot in the requested format.

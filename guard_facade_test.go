@@ -1,0 +1,243 @@
+package safeplan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"safeplan/internal/faultinject"
+)
+
+// TestGuardedTraceParityAcrossLegacyWrappers pins satellite guarantee:
+// the deprecated traced wrapper with a guard enabled and no fault model
+// keeps its golden trace bit-identical to both the unguarded run and the
+// options form.  Compared trace-by-trace (not whole-struct) because the
+// guarded results additionally carry the guard's call counters.
+func TestGuardedTraceParityAcrossLegacyWrappers(t *testing.T) {
+	sc := DefaultScenario()
+	cfg := DefaultSimConfig()
+	cfg.Comms = DelayedComms(0.25, 0.3)
+	cfg.InfoFilter = true
+	agent := BuildUltimate(sc, NewConservativeExpert(sc))
+
+	plain, err := RunEpisodeTraced(cfg, agent, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gc := DefaultGuardConfig(VehicleLimits{}) // zero limits inherit the scenario's
+	guardedCfg := cfg
+	guardedCfg.Guard = &gc
+	legacy, err := RunEpisodeTraced(guardedCfg, agent, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := RunEpisode(cfg, agent, 42, WithTrace(), WithGuard(gc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string]EpisodeResult{"legacy": legacy, "option": opt} {
+		if got.Guard.Faults != 0 || got.Guard.FallbackLastGood != 0 ||
+			got.Guard.FallbackEmergency != 0 || got.Guard.WorstState != GuardNominal {
+			t.Fatalf("%s: healthy planner tripped the guard: %+v", name, got.Guard)
+		}
+		if len(got.Trace) != len(plain.Trace) {
+			t.Fatalf("%s: trace length %d, want %d", name, len(got.Trace), len(plain.Trace))
+		}
+		for i := range plain.Trace {
+			// Formatted compare: steps with no feasible window hold NaN
+			// bounds and NaN != NaN under ==.
+			if fmt.Sprintf("%+v", got.Trace[i]) != fmt.Sprintf("%+v", plain.Trace[i]) {
+				t.Fatalf("%s: step %d differs with guard enabled:\n%+v\n%+v",
+					name, i, plain.Trace[i], got.Trace[i])
+			}
+		}
+		if got.Eta != plain.Eta || got.Steps != plain.Steps || got.Reached != plain.Reached {
+			t.Fatalf("%s: outcome differs: %+v vs %+v", name, got, plain)
+		}
+	}
+	if fmt.Sprintf("%+v", legacy.Guard) != fmt.Sprintf("%+v", opt.Guard) {
+		t.Fatalf("guard stats diverge between wrapper and option:\n%+v\n%+v",
+			legacy.Guard, opt.Guard)
+	}
+}
+
+// TestWithPlannerFaultOptions exercises the facade's fault-injection
+// plumbing end to end: an invalid model is rejected with the safeplan:
+// prefix, a preset reaches the runner (faults observed, guard
+// auto-installed), and the run still completes safely.
+func TestWithPlannerFaultOptions(t *testing.T) {
+	sc := DefaultScenario()
+	cfg := DefaultSimConfig()
+	cfg.InfoFilter = true
+	agent := BuildUltimate(sc, NewConservativeExpert(sc))
+
+	if _, err := RunEpisode(cfg, agent, 1, WithPlannerFault(faultinject.PanicP{P: 2})); err == nil ||
+		!strings.HasPrefix(err.Error(), "safeplan:") {
+		t.Fatalf("invalid fault model accepted: %v", err)
+	}
+
+	m, err := PlannerFaultPreset("worst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFault := false
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := RunEpisode(cfg, agent, seed, WithPlannerFault(m))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Collided {
+			t.Fatalf("seed %d: collided under planner faults", seed)
+		}
+		if res.Guard.PlannerCalls == 0 {
+			t.Fatalf("seed %d: guard not auto-installed", seed)
+		}
+		if res.Guard.Faults > 0 {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Fatal("worst preset never fired over 8 seeds")
+	}
+
+	// The caller's config must stay untouched (options copy semantics).
+	if cfg.Guard != nil || cfg.PlannerFault != nil {
+		t.Fatal("RunEpisode mutated the caller's config")
+	}
+}
+
+// TestCarFollowPlannerFaultOption checks the second scenario's facade
+// wiring for guard and fault injection.
+func TestCarFollowPlannerFaultOption(t *testing.T) {
+	sc := DefaultCarFollowScenario()
+	cfg := DefaultCarFollowSimConfig()
+	cfg.InfoFilter = true
+	agent := BuildCarFollowUltimate(sc, NewCarFollowConservativeExpert(sc))
+
+	m, err := PlannerFaultPreset("nan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCarFollowEpisode(cfg, agent, 5, WithPlannerFault(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collided {
+		t.Fatal("car-following episode collided under NaN faults")
+	}
+	if res.Guard.PlannerCalls == 0 {
+		t.Fatal("guard not installed in car-following runner")
+	}
+}
+
+// TestPlannerFaultPresetsResolve pins the re-exported preset catalogue.
+func TestPlannerFaultPresetsResolve(t *testing.T) {
+	names := PlannerFaultPresetNames()
+	if len(names) == 0 {
+		t.Fatal("empty planner-fault preset catalogue")
+	}
+	for _, name := range names {
+		m, err := PlannerFaultPreset(name)
+		if err != nil {
+			t.Errorf("preset %q: %v", name, err)
+			continue
+		}
+		if name != "none" && m == nil {
+			t.Errorf("preset %q resolved to nil", name)
+		}
+	}
+	if _, err := PlannerFaultPreset("no-such"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+// TestFaultInvariantsCatalogue: the fail-mode checker set carries the
+// containment checkers and deliberately omits MonitorConsistency.
+func TestFaultInvariantsCatalogue(t *testing.T) {
+	inv := FaultInvariants(DefaultScenario())
+	if len(inv) != 4 {
+		t.Fatalf("FaultInvariants returned %d checkers", len(inv))
+	}
+	names := map[string]bool{}
+	for _, iv := range inv {
+		names[iv.Name()] = true
+	}
+	for _, want := range []string{"no-collision", "sound-estimate", "emergency-one-step", "guard-consistency"} {
+		if !names[want] {
+			t.Errorf("missing invariant %q in %v", want, names)
+		}
+	}
+	if names["monitor-iff-boundary"] {
+		t.Error("MonitorConsistency must not run under guard-forced κ_e steps")
+	}
+}
+
+// TestValidateRejectsNonFinite is the satellite's table-driven check:
+// every float field of the simulation configs rejects NaN and ±Inf with
+// a prefixed, field-naming error.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	vals := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	simCases := []struct {
+		field string
+		set   func(*SimConfig, float64)
+	}{
+		{"DtM", func(c *SimConfig, v float64) { c.DtM = v }},
+		{"DtS", func(c *SimConfig, v float64) { c.DtS = v }},
+		{"Horizon", func(c *SimConfig, v float64) { c.Horizon = v }},
+		{"SensorDropProb", func(c *SimConfig, v float64) { c.SensorDropProb = v }},
+		{"OncomingStartSpread", func(c *SimConfig, v float64) { c.OncomingStartSpread = v }},
+		{"OncomingSpeedMin", func(c *SimConfig, v float64) { c.OncomingSpeedMin = v }},
+		{"OncomingSpeedMax", func(c *SimConfig, v float64) { c.OncomingSpeedMax = v }},
+	}
+	for _, tc := range simCases {
+		for _, v := range vals {
+			cfg := DefaultSimConfig()
+			tc.set(&cfg, v)
+			err := Validate(cfg)
+			if err == nil || !strings.HasPrefix(err.Error(), "safeplan:") ||
+				!strings.Contains(err.Error(), tc.field) ||
+				!strings.Contains(err.Error(), "finite") {
+				t.Errorf("SimConfig.%s = %v: Validate() = %v", tc.field, v, err)
+			}
+		}
+	}
+
+	cfCases := []struct {
+		field string
+		set   func(*CarFollowSimConfig, float64)
+	}{
+		{"DtM", func(c *CarFollowSimConfig, v float64) { c.DtM = v }},
+		{"DtS", func(c *CarFollowSimConfig, v float64) { c.DtS = v }},
+		{"Horizon", func(c *CarFollowSimConfig, v float64) { c.Horizon = v }},
+		{"LeadSpeedMin", func(c *CarFollowSimConfig, v float64) { c.LeadSpeedMin = v }},
+		{"LeadSpeedMax", func(c *CarFollowSimConfig, v float64) { c.LeadSpeedMax = v }},
+	}
+	for _, tc := range cfCases {
+		for _, v := range vals {
+			cfg := DefaultCarFollowSimConfig()
+			tc.set(&cfg, v)
+			err := cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.field) ||
+				!strings.Contains(err.Error(), "finite") {
+				t.Errorf("CarFollowSimConfig.%s = %v: Validate() = %v", tc.field, v, err)
+			}
+		}
+	}
+}
+
+// TestValidateRejectsBadGuardConfig: guard misconfiguration surfaces
+// through the public Validate with the safeplan: prefix.
+func TestValidateRejectsBadGuardConfig(t *testing.T) {
+	cfg := DefaultSimConfig()
+	gc := DefaultGuardConfig(VehicleLimits{})
+	gc.StepBudget = math.NaN()
+	cfg.Guard = &gc
+	err := Validate(cfg)
+	if err == nil || !strings.HasPrefix(err.Error(), "safeplan:") ||
+		!strings.Contains(err.Error(), "budget") {
+		t.Fatalf("NaN step budget accepted: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"safeplan/internal/guard"
 	"safeplan/internal/sim"
 )
 
@@ -29,6 +30,30 @@ type ShardStats struct {
 	Eta           Moments `json:"eta"`
 	ReachTimeSafe Moments `json:"reach_time_safe"`
 	EmergencyFreq Moments `json:"emergency_freq"`
+
+	// Guard* fold the planner-fault guard's per-episode counters
+	// (internal/guard).  All fields carry omitempty and stay zero when no
+	// guard or fault model is active, so guard-less reports and
+	// checkpoints serialize byte-identically to before the guard existed.
+	GuardFaults            int64 `json:"guard_faults,omitempty"`
+	GuardPanics            int64 `json:"guard_panics,omitempty"`
+	GuardNonFinite         int64 `json:"guard_non_finite,omitempty"`
+	GuardRangeRejects      int64 `json:"guard_range_rejects,omitempty"`
+	GuardDeadline          int64 `json:"guard_deadline,omitempty"`
+	GuardWallClock         int64 `json:"guard_wall_clock,omitempty"`
+	GuardFallbackLastGood  int64 `json:"guard_fallback_last_good,omitempty"`
+	GuardFallbackEmergency int64 `json:"guard_fallback_emergency,omitempty"`
+	GuardBypassSteps       int64 `json:"guard_bypass_steps,omitempty"`
+	GuardDegradations      int64 `json:"guard_degradations,omitempty"`
+	GuardRecoveries        int64 `json:"guard_recoveries,omitempty"`
+
+	// GuardFaultEpisodes counts episodes with at least one contained
+	// fault (the i.i.d. activation events the Wilson interval runs
+	// over); GuardDegradedEpisodes / GuardEmergencyOnlyEpisodes count
+	// episodes whose worst state reached that level.
+	GuardFaultEpisodes         int64 `json:"guard_fault_episodes,omitempty"`
+	GuardDegradedEpisodes      int64 `json:"guard_degraded_episodes,omitempty"`
+	GuardEmergencyOnlyEpisodes int64 `json:"guard_emergency_only_episodes,omitempty"`
 }
 
 // Observe folds one episode result into the shard aggregate.
@@ -53,6 +78,28 @@ func (a *ShardStats) Observe(r *sim.Result) {
 		a.ReachTimeSafe.Observe(r.ReachTime)
 	}
 	a.EmergencyFreq.Observe(r.EmergencyFrequency())
+
+	g := r.Guard
+	a.GuardFaults += int64(g.Faults)
+	a.GuardPanics += int64(g.Panics)
+	a.GuardNonFinite += int64(g.NonFinite)
+	a.GuardRangeRejects += int64(g.RangeRejects)
+	a.GuardDeadline += int64(g.Deadline)
+	a.GuardWallClock += int64(g.WallClock)
+	a.GuardFallbackLastGood += int64(g.FallbackLastGood)
+	a.GuardFallbackEmergency += int64(g.FallbackEmergency)
+	a.GuardBypassSteps += int64(g.BypassSteps)
+	a.GuardDegradations += int64(g.Degradations)
+	a.GuardRecoveries += int64(g.Recoveries)
+	if g.Faults > 0 {
+		a.GuardFaultEpisodes++
+	}
+	if g.WorstState >= guard.Degraded {
+		a.GuardDegradedEpisodes++
+	}
+	if g.WorstState >= guard.EmergencyOnly {
+		a.GuardEmergencyOnlyEpisodes++
+	}
 }
 
 // Merge folds another shard aggregate into this one.  The campaign runner
@@ -70,6 +117,20 @@ func (a *ShardStats) Merge(b *ShardStats) {
 	a.Eta.Merge(b.Eta)
 	a.ReachTimeSafe.Merge(b.ReachTimeSafe)
 	a.EmergencyFreq.Merge(b.EmergencyFreq)
+	a.GuardFaults += b.GuardFaults
+	a.GuardPanics += b.GuardPanics
+	a.GuardNonFinite += b.GuardNonFinite
+	a.GuardRangeRejects += b.GuardRangeRejects
+	a.GuardDeadline += b.GuardDeadline
+	a.GuardWallClock += b.GuardWallClock
+	a.GuardFallbackLastGood += b.GuardFallbackLastGood
+	a.GuardFallbackEmergency += b.GuardFallbackEmergency
+	a.GuardBypassSteps += b.GuardBypassSteps
+	a.GuardDegradations += b.GuardDegradations
+	a.GuardRecoveries += b.GuardRecoveries
+	a.GuardFaultEpisodes += b.GuardFaultEpisodes
+	a.GuardDegradedEpisodes += b.GuardDegradedEpisodes
+	a.GuardEmergencyOnlyEpisodes += b.GuardEmergencyOnlyEpisodes
 }
 
 // Stats is the deterministic statistics section of a campaign report:
@@ -86,6 +147,14 @@ type Stats struct {
 	EmergencyStepRate    float64 `json:"emergency_step_rate"`
 
 	EtaStd float64 `json:"eta_std"`
+
+	// GuardFaultEpisodeRate is the Wilson rate of episodes with at least
+	// one contained planner fault; GuardFallbackStepRate is the fraction
+	// of control steps whose command came from a guard fallback (last
+	// good, κ_e, or an EmergencyOnly bypass).  Both absent when the
+	// campaign saw no guard activity.
+	GuardFaultEpisodeRate *Rate   `json:"guard_fault_episode_rate,omitempty"`
+	GuardFallbackStepRate float64 `json:"guard_fallback_step_rate,omitempty"`
 
 	// InvariantViolations counts violations by checker name; only
 	// populated when Spec.CountViolations is set (otherwise the first
@@ -104,6 +173,13 @@ func (s *Stats) finalize() {
 		s.EmergencyStepRate = float64(s.EmergencySteps) / float64(s.Steps)
 	}
 	s.EtaStd = s.Eta.Std()
+	if s.GuardFaults > 0 || s.GuardFaultEpisodes > 0 || s.GuardBypassSteps > 0 {
+		r := NewRate(s.GuardFaultEpisodes, n)
+		s.GuardFaultEpisodeRate = &r
+		if s.Steps > 0 {
+			s.GuardFallbackStepRate = float64(s.GuardFallbackLastGood+s.GuardFallbackEmergency) / float64(s.Steps)
+		}
+	}
 }
 
 // Perf is the throughput section of a campaign report.  It is wall-clock

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,16 @@ import (
 
 // checkpointVersion guards the on-disk layout.
 const checkpointVersion = 1
+
+// ErrCorruptCheckpoint marks a checkpoint file that cannot be decoded —
+// truncated, bit-flipped, malformed, or written by an incompatible
+// version.  Callers that prefer resilience over resumption can match it
+// with errors.Is, discard the file, and start the campaign fresh (the
+// aggregates are recomputable; see cmd/bench).  A *fingerprint* mismatch
+// is deliberately NOT this error: a well-formed checkpoint from a
+// different campaign means the caller asked to resume the wrong thing,
+// and silently discarding it would hide the mistake.
+var ErrCorruptCheckpoint = errors.New("campaign: corrupt checkpoint")
 
 // Fingerprint identifies the campaign a checkpoint belongs to.  Resuming
 // with a different fingerprint is refused: merging shard aggregates from a
@@ -50,10 +61,10 @@ func loadCheckpoint(path string, fp Fingerprint) (map[int]*ShardStats, error) {
 	}
 	var cf checkpointFile
 	if err := json.Unmarshal(raw, &cf); err != nil {
-		return nil, fmt.Errorf("campaign: corrupt checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("%w %s: %v", ErrCorruptCheckpoint, path, err)
 	}
 	if cf.Version != checkpointVersion {
-		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, cf.Version, checkpointVersion)
+		return nil, fmt.Errorf("%w %s: version %d, want %d", ErrCorruptCheckpoint, path, cf.Version, checkpointVersion)
 	}
 	if cf.Fingerprint != fp {
 		return nil, fmt.Errorf("campaign: checkpoint %s belongs to campaign %+v, not %+v (delete it or change the path)",
@@ -63,7 +74,7 @@ func loadCheckpoint(path string, fp Fingerprint) (map[int]*ShardStats, error) {
 	for k, agg := range cf.Shards {
 		i, err := strconv.Atoi(k)
 		if err != nil || i < 0 || agg == nil {
-			return nil, fmt.Errorf("campaign: corrupt checkpoint %s: bad shard key %q", path, k)
+			return nil, fmt.Errorf("%w %s: bad shard key %q", ErrCorruptCheckpoint, path, k)
 		}
 		out[i] = agg
 	}

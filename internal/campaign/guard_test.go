@@ -1,0 +1,178 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"safeplan/internal/core"
+	"safeplan/internal/faultinject"
+	"safeplan/internal/planner"
+	"safeplan/internal/sim"
+)
+
+// faultFixture is a fault-injected left-turn campaign: the ultimate
+// compound design under the worst-case planner-fault stack, with the
+// fail-mode invariant set counting (not aborting) so the campaign always
+// completes.
+func faultFixture() (sim.Config, core.Agent) {
+	cfg := sim.DefaultConfig()
+	cfg.Horizon = 8
+	cfg.InfoFilter = true
+	cfg.PlannerFault = mustPreset("worst")
+	sc := cfg.Scenario
+	return cfg, core.NewUltimate(sc, planner.ConservativeExpert(sc))
+}
+
+func mustPreset(name string) faultinject.Model {
+	m, err := faultinject.Preset(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestCampaignGuardStats: guard counters aggregate across shards, the
+// derived rates appear, and the whole thing stays bit-identical for any
+// worker count.
+func TestCampaignGuardStats(t *testing.T) {
+	cfg, agent := faultFixture()
+	run := func(workers int) Stats {
+		rep, err := Run(Spec{
+			Name: "guard-stats", Episodes: 400, BaseSeed: 3, Workers: workers,
+			Invariants: []sim.Invariant{
+				sim.NoCollision{},
+				sim.EmergencyOneStep{Cfg: cfg.Scenario},
+				sim.NewGuardConsistency(cfg.Scenario),
+			},
+			CountViolations: true,
+		}, LeftTurn(cfg, agent))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Stats
+	}
+	s1, s8 := run(1), run(8)
+	if !reflect.DeepEqual(s1, s8) {
+		t.Fatalf("guard statistics differ between 1 and 8 workers:\n1: %+v\n8: %+v", s1, s8)
+	}
+	if s1.GuardFaults == 0 || s1.GuardFaultEpisodes == 0 {
+		t.Fatalf("worst preset produced no guard faults: %+v", s1.ShardStats)
+	}
+	if s1.GuardFallbackLastGood+s1.GuardFallbackEmergency+s1.GuardBypassSteps == 0 {
+		t.Fatal("faults recorded but no fallbacks")
+	}
+	if s1.GuardFaultEpisodeRate == nil || s1.GuardFaultEpisodeRate.Total != s1.Episodes {
+		t.Fatalf("fault episode rate missing or wrong: %+v", s1.GuardFaultEpisodeRate)
+	}
+	if s1.GuardFallbackStepRate <= 0 || s1.GuardFallbackStepRate > 1 {
+		t.Fatalf("fallback step rate %v outside (0, 1]", s1.GuardFallbackStepRate)
+	}
+	for name, n := range s1.InvariantViolations {
+		if n != 0 {
+			t.Fatalf("containment invariant %s violated %d times", name, n)
+		}
+	}
+	if s1.Collided != 0 {
+		t.Fatalf("%d collisions under contained faults", s1.Collided)
+	}
+}
+
+// TestCampaignReportGuardFieldsAbsentWhenClean pins checkpoint and report
+// compatibility: a guard-less campaign serializes without a single
+// guard_* key, byte-identical to reports from before the guard existed.
+func TestCampaignReportGuardFieldsAbsentWhenClean(t *testing.T) {
+	rep, err := Run(Spec{Name: "clean", Episodes: 1_000, BaseSeed: 9}, syntheticEpisode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "guard") {
+		t.Fatalf("guard-less report mentions guard fields:\n%s", raw)
+	}
+}
+
+// TestCheckpointCorruptionDetected is the satellite's resilience check: a
+// bit-flipped, truncated, or version-skewed checkpoint surfaces as
+// ErrCorruptCheckpoint (so callers can discard it and start fresh), while
+// a fingerprint mismatch deliberately does not.
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	spec := Spec{Name: "corrupt", Episodes: 2_000, BaseSeed: 5, CheckpointPath: path}
+	if _, err := Run(spec, syntheticEpisode); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func([]byte) []byte{
+		// Flip a bit in the opening brace: the file no longer parses.
+		"bit-flip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] ^= 0x40
+			return c
+		},
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"version-skew": func(b []byte) []byte {
+			return []byte(strings.Replace(string(b), `"version": 1`, `"version": 99`, 1))
+		},
+		"bad-shard-key": func(b []byte) []byte {
+			return []byte(strings.Replace(string(b), `"0":`, `"zero":`, 1))
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, corrupt(pristine), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Run(spec, syntheticEpisode)
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("corrupt checkpoint not flagged: %v", err)
+			}
+		})
+	}
+
+	// Recovery path: discard the corrupt file and re-run fresh — the
+	// statistics come back identical.
+	if err := os.WriteFile(path, corruptions["bit-flip"](pristine), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, syntheticEpisode); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("expected corruption error, got %v", err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(spec, syntheticEpisode)
+	if err != nil {
+		t.Fatalf("fresh run after discarding corrupt checkpoint: %v", err)
+	}
+	var pf checkpointFile
+	if err := json.Unmarshal(pristine, &pf); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Stats.Episodes != int64(spec.Episodes) {
+		t.Fatalf("fresh run aggregated %d episodes", fresh.Stats.Episodes)
+	}
+
+	// A well-formed checkpoint for a different campaign is NOT "corrupt".
+	if err := os.WriteFile(path, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.BaseSeed = 6
+	_, err = Run(other, syntheticEpisode)
+	if err == nil || errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("fingerprint mismatch must be a distinct error, got %v", err)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"safeplan/internal/comms"
 	"safeplan/internal/disturb"
 	"safeplan/internal/dynamics"
+	"safeplan/internal/faultinject"
 	"safeplan/internal/fusion"
+	"safeplan/internal/guard"
 	"safeplan/internal/sensor"
 	"safeplan/internal/sim"
 	"safeplan/internal/telemetry"
@@ -48,6 +50,18 @@ type SimConfig struct {
 	// last value holds beyond its end).  Used by fuzzing to search lead
 	// behaviours directly.
 	LeadScript []float64
+
+	// Guard, when non-nil, wraps every planner invocation in the
+	// compute-fault containment layer (internal/guard).  Zero Limits are
+	// filled from Scenario.Ego.
+	Guard *guard.Config
+
+	// PlannerFault, when non-nil, injects compute faults into the planner
+	// (internal/faultinject).  A default guard is installed automatically
+	// when none is configured, and the injector's random streams derive
+	// from the master seed after every legacy stream (same compatibility
+	// rule as the left-turn runner).
+	PlannerFault faultinject.Model
 }
 
 // DefaultHorizon bounds a car-following episode (the ~400 m course takes
@@ -83,6 +97,20 @@ func (c SimConfig) Validate() error {
 	if err := c.Lead.Validate(); err != nil {
 		return err
 	}
+	// NaN compares false with every ordering operator, so the range checks
+	// below would silently accept NaN fields; reject non-finite values
+	// explicitly first.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"DtM", c.DtM}, {"DtS", c.DtS}, {"Horizon", c.Horizon},
+		{"LeadSpeedMin", c.LeadSpeedMin}, {"LeadSpeedMax", c.LeadSpeedMax},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("carfollow: %s is %v (must be finite)", f.name, f.v)
+		}
+	}
 	if c.DtM <= 0 || c.DtS <= 0 {
 		return fmt.Errorf("carfollow: non-positive periods")
 	}
@@ -100,6 +128,20 @@ func (c SimConfig) Validate() error {
 	for i, a := range c.LeadScript {
 		if math.IsNaN(a) || math.IsInf(a, 0) {
 			return fmt.Errorf("carfollow: lead script entry %d is %v", i, a)
+		}
+	}
+	if c.Guard != nil {
+		g := *c.Guard
+		if g.Limits == (dynamics.Limits{}) {
+			g.Limits = c.Scenario.Ego // the runner applies the same fill
+		}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("carfollow: %w", err)
+		}
+	}
+	if c.PlannerFault != nil {
+		if err := c.PlannerFault.Validate(); err != nil {
+			return fmt.Errorf("carfollow: %w", err)
 		}
 	}
 	return nil
@@ -159,6 +201,15 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, e
 	if cfg.SensorDisturb != nil {
 		sensProc = cfg.SensorDisturb.NewSensor(rand.New(rand.NewSource(master.Int63())))
 	}
+	// Planner-fault streams derive after the disturbance streams, under the
+	// same compatibility rule.
+	gs, err := sim.NewGuardedStep(cfg.Guard, cfg.PlannerFault, cfg.Scenario.Ego, master)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if gs != nil {
+		defer func() { res.Guard = gs.Stats() }()
+	}
 
 	sc := cfg.Scenario
 	ego := sc.EgoInit
@@ -216,9 +267,28 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, e
 		}
 		var a0 float64
 		var emergency bool
+		var gres guard.StepResult
+		plan := func() (float64, bool) { return agent.Accel(t, ego, k) }
+		var start time.Time
 		if coll != nil {
-			start := time.Now()
-			a0, emergency = agent.Accel(t, ego, k)
+			start = time.Now()
+		}
+		if gs != nil {
+			// Car following has no committed regime: outside the unsafe
+			// and boundary sets any admissible command is one-step safe,
+			// so the envelope is the full actuation range there and
+			// κ_e-only inside them.
+			env := func() (float64, float64, bool) {
+				if sc.InUnsafeSet(ego, k.Sound) || sc.InBoundarySafeSet(ego, k.Sound) {
+					return 0, 0, false
+				}
+				return sc.Ego.AMin, sc.Ego.AMax, true
+			}
+			a0, emergency, gres = gs.Step(t, plan, func() float64 { return sc.EmergencyAccel(ego) }, env)
+		} else {
+			a0, emergency = plan()
+		}
+		if coll != nil {
 			coll.OnStep(telemetry.StepProbe{
 				T:          t,
 				Emergency:  emergency,
@@ -226,17 +296,22 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, e
 				FusedWidth: est.P.Width(),
 				PlannerNs:  time.Since(start).Nanoseconds(),
 			})
-		} else {
-			a0, emergency = agent.Accel(t, ego, k)
+			if gs != nil {
+				gs.Report(coll, t, gres)
+			}
 		}
 		if emergency {
 			res.EmergencySteps++
 		}
 		if len(opts.Invariants) > 0 {
-			if ierr := sim.CheckStepInvariants(opts.Invariants, sim.StepInfo{
+			si := sim.StepInfo{
 				T: t, Ego: ego, Other: lead, OtherA: leadA,
 				Est: est, Accel: a0, Emergency: emergency,
-			}); ierr != nil {
+			}
+			if gs != nil {
+				gs.Annotate(&si, gres)
+			}
+			if ierr := sim.CheckStepInvariants(opts.Invariants, si); ierr != nil {
 				return res, ierr
 			}
 		}

@@ -272,15 +272,37 @@ func (c Config) InBoundarySafeSet(ego dynamics.State, oncoming interval.Interval
 	return c.EgoWindow(ego).Intersects(oncoming)
 }
 
+// StopOvershoot returns the worst-case distance by which the
+// Δt_c-discretized integrator overshoots a continuous critical stop:
+// the final braking step applies the velocity-clamped deceleration −v/Δt_c
+// for the whole period and travels v·Δt_c/2 instead of v²/(2|a_min|),
+// an excess of at most |a_min|·Δt_c²/8 (maximized at v = |a_min|·Δt_c/2).
+// κ_e and the emergency-one-step checker both use this bound: a state
+// whose slack is below it cannot be guaranteed to stop short of the front
+// line in discrete time, however hard it brakes.
+func (c Config) StopOvershoot() float64 {
+	return -c.Ego.AMin * c.DtC * c.DtC / 8
+}
+
 // EmergencyAccel implements the scenario's emergency planner κ_e.  The
 // paper switches on position (brake before the front line, escape after);
 // here the switch is on *feasibility*, which is what Eq. 4 actually needs:
 //
-//   - stoppable (slack ≥ 0, short of the line): brake just hard enough to
-//     stop StopMargin before PF;
-//   - committed (negative slack, or already inside the zone): escape at
-//     full acceleration — braking a committed vehicle would park it inside
+//   - stoppable (short of the line, with enough slack to absorb the
+//     discretization overshoot): brake just hard enough to stop
+//     StopMargin before PF;
+//   - committed (already inside the zone, negative slack, or slack below
+//     StopOvershoot — where the discretized stop can land past the front
+//     line at crawl speed, the worst state of all): escape at full
+//     acceleration — braking a committed vehicle would park it inside
 //     the conflict zone, the one outcome that must never happen.
+//
+// The StopOvershoot cut matters only on the knife edge: the runtime
+// monitor hands off with at least SafetyMargin of slack, so a fault-free
+// episode never engages κ_e below it.  Fault containment does — the
+// guard substitutes κ_e at arbitrary reachable states, including
+// mid-dash states whose slack has just crossed zero — and braking there
+// must not be allowed to stop millimetres past the line.
 //
 // The output is clamped to the ego's envelope so the planner remains
 // admissible from any state.
@@ -289,11 +311,11 @@ func (c Config) EmergencyAccel(ego dynamics.State) float64 {
 	if ego.P > g.PF {
 		return c.Ego.AMax
 	}
-	if c.Slack(ego) < 0 {
-		return c.Ego.AMax // committed: minimize time spent in the zone
-	}
 	if ego.V <= 0 {
 		return 0 // already stopped short of the zone: hold
+	}
+	if c.Slack(ego) <= c.StopOvershoot() {
+		return c.Ego.AMax // committed: minimize time spent in the zone
 	}
 	var a float64
 	gap := g.PF - c.StopMargin - ego.P

@@ -167,6 +167,29 @@ func (m Monitor) shouldHold(ego dynamics.State, wCons interval.Interval) bool {
 	return wCons.Lo <= clearFast+release
 }
 
+// Envelope returns the acceleration interval the verdict admits for a
+// non-emergency command: the actuation limits narrowed by the commitment
+// guards.  ok is false when the verdict is an emergency hand-off — no
+// planner command is admissible from that state, only κ_e's.  The
+// compute-fault guard validates every executed command against this
+// interval: in the committed regime (negative slack) Apply silently
+// clamps κ_n's output, so a replayed or corrupted command that merely
+// sits inside the actuation limits can still break the window
+// disjointness the commitment relies on.
+func (o Outcome) Envelope(lim dynamics.Limits) (lo, hi float64, ok bool) {
+	if o.Emergency {
+		return 0, 0, false
+	}
+	lo, hi = lim.AMin, lim.AMax
+	if o.HasFloor && o.Floor > lo {
+		lo = o.Floor
+	}
+	if o.HasCeil && o.Ceil < hi {
+		hi = o.Ceil
+	}
+	return lo, hi, lo <= hi
+}
+
 // Apply clamps a planner-proposed acceleration to the outcome's guards.
 func (o Outcome) Apply(a float64) float64 {
 	if o.HasFloor && a < o.Floor {

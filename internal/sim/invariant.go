@@ -36,6 +36,16 @@ type StepInfo struct {
 	Accel float64
 	// Emergency is true when the emergency planner κ_e produced Accel.
 	Emergency bool
+
+	// GuardState is the guard's degradation state after this step
+	// ("nominal", "degraded", "emergency-only"); empty when no guard is
+	// configured.  GuardFault names the contained planner fault ("panic",
+	// "deadline", "wall-clock", "non-finite", "range") and GuardFallback
+	// the substitute command source ("last-good", "emergency"); both are
+	// empty on clean pass-through steps.
+	GuardState    string
+	GuardFault    string
+	GuardFallback string
 }
 
 // Invariant is a pluggable runtime check threaded through the simulation
@@ -169,11 +179,12 @@ const DefaultSlackTolerance = 1e-6
 
 // EmergencyOneStep asserts the Eq. 4 one-step property of the emergency
 // planner in the left-turn scenario: whenever κ_e commands a *stoppable*
-// ego (slack ≥ 0, short of the front line), executing the command for one
-// control step must keep the slack nonnegative — κ_e never burns the
-// stopping margin it exists to protect.  The committed branch (negative
-// slack: escape at full throttle) is covered by NoCollision instead, since
-// its correctness argument is window disjointness, not slack.
+// ego (short of the front line with more than StopOvershoot of slack),
+// executing the command for one control step must keep the slack
+// nonnegative — κ_e never burns the stopping margin it exists to protect.
+// The committed branch (slack at or below the overshoot bound: escape at
+// full throttle) is covered by NoCollision instead, since its correctness
+// argument is window disjointness, not slack.
 //
 // Two discretization details make the discrete form differ from the
 // continuous Eq. 4.  First, the integrator clamps velocity at VMin: when
@@ -204,7 +215,7 @@ func (c EmergencyOneStep) CheckStep(s StepInfo) error {
 		return nil
 	}
 	slack := c.Cfg.Slack(s.Ego)
-	if slack < 0 || math.IsInf(slack, 1) {
+	if slack <= c.Cfg.StopOvershoot() || math.IsInf(slack, 1) {
 		return nil // committed (escape) or already past the zone
 	}
 	tol := c.Tol
@@ -221,6 +232,74 @@ func (c EmergencyOneStep) CheckStep(s StepInfo) error {
 		return stepViolation(c.Name(), s,
 			"κ_e command a=%.3f drives slack %.6f → %.6f (ego p=%.3f v=%.3f)",
 			s.Accel, slack, after, s.Ego.P, s.Ego.V)
+	}
+	return nil
+}
+
+// GuardConsistency asserts the planner-fault guard's containment
+// contract on every step it intervened in: the executed acceleration is
+// finite and inside the actuation envelope (± Tol), an "emergency"
+// fallback is flagged as a κ_e step, a "last-good" fallback is not (it
+// replays a validated nominal action), and no contained fault ever
+// reaches the actuators without a fallback.  Steps without guard
+// activity are skipped, so the checker composes with any agent.
+//
+// Unlike MonitorConsistency this checker stays valid under fault
+// injection — the guard forcing κ_e on a panic step is exactly the
+// behaviour it asserts, whereas the monitor-iff-boundary property is
+// deliberately broken by such a step.
+type GuardConsistency struct {
+	StepOnly
+	// Limits is the actuation envelope the guard enforces.
+	Limits dynamics.Limits
+	// Tol absorbs floating-point slack at the envelope edges; 0 selects
+	// the guard's own range tolerance.
+	Tol float64
+}
+
+// NewGuardConsistency builds the checker for the left-turn scenario's ego
+// envelope.
+func NewGuardConsistency(cfg leftturn.Config) GuardConsistency {
+	return GuardConsistency{Limits: cfg.Ego}
+}
+
+// Name implements Invariant.
+func (GuardConsistency) Name() string { return "guard-consistency" }
+
+// CheckStep implements Invariant.
+func (c GuardConsistency) CheckStep(s StepInfo) error {
+	if s.GuardFault == "" && s.GuardFallback == "" {
+		return nil // no guard, or clean pass-through
+	}
+	tol := c.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	if math.IsNaN(s.Accel) || math.IsInf(s.Accel, 0) {
+		return stepViolation(c.Name(), s,
+			"guard passed non-finite acceleration %v (fault %q, fallback %q)",
+			s.Accel, s.GuardFault, s.GuardFallback)
+	}
+	if s.Accel < c.Limits.AMin-tol || s.Accel > c.Limits.AMax+tol {
+		return stepViolation(c.Name(), s,
+			"guard passed out-of-range acceleration %v outside [%v, %v] (fault %q, fallback %q)",
+			s.Accel, c.Limits.AMin, c.Limits.AMax, s.GuardFault, s.GuardFallback)
+	}
+	if s.GuardFault != "" && s.GuardFallback == "" {
+		return stepViolation(c.Name(), s,
+			"fault %q reached the actuators without a fallback (a=%v)", s.GuardFault, s.Accel)
+	}
+	switch s.GuardFallback {
+	case "emergency":
+		if !s.Emergency {
+			return stepViolation(c.Name(), s,
+				"emergency fallback not flagged as a κ_e step (fault %q)", s.GuardFault)
+		}
+	case "last-good":
+		if s.Emergency {
+			return stepViolation(c.Name(), s,
+				"last-good fallback flagged as a κ_e step (fault %q)", s.GuardFault)
+		}
 	}
 	return nil
 }

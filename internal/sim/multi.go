@@ -11,8 +11,10 @@ import (
 	"safeplan/internal/disturb"
 	"safeplan/internal/dynamics"
 	"safeplan/internal/fusion"
+	"safeplan/internal/guard"
 	"safeplan/internal/interval"
 	"safeplan/internal/leftturn"
+	"safeplan/internal/monitor"
 	"safeplan/internal/sensor"
 	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
@@ -141,6 +143,16 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result,
 			tr.sensProc = cfg.SensorDisturb.NewSensor(rand.New(rand.NewSource(master.Int63())))
 		}
 	}
+	// Planner-fault streams derive last, under the same compatibility rule.
+	gs, err := NewGuardedStep(cfg.Guard, cfg.PlannerFault, sc.Ego, master)
+	if err != nil {
+		return Result{}, err
+	}
+	if gs != nil {
+		defer func() { res.Guard = gs.Stats() }()
+	}
+	// Safe-action envelope basis for the guard; see Run.
+	mon := monitor.New(sc)
 
 	ego := sc.EgoInit
 	msgTick := comms.NewTicker(cfg.DtM)
@@ -197,22 +209,60 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result,
 
 		var a0 float64
 		var emergency bool
+		var gres guard.StepResult
+		plan := func() (float64, bool) { return agent.Accel(t, ego, ks) }
+		var start time.Time
 		if coll != nil {
-			start := time.Now()
-			a0, emergency = agent.Accel(t, ego, ks)
-			coll.OnStep(multiStepProbe(sc, t, emergency, ks, time.Since(start).Nanoseconds()))
+			start = time.Now()
+		}
+		if gs != nil {
+			// Per-track envelopes intersect: the ego must satisfy every
+			// vehicle's commitment guard at once, exactly as the
+			// multi-vehicle compound resolves them (an empty intersection
+			// or any emergency verdict admits only κ_e).
+			env := func() (float64, float64, bool) {
+				lo, hi := sc.Ego.AMin, sc.Ego.AMax
+				for _, k := range ks {
+					o := mon.Assess(ego, sc.ConservativeWindow(k.Sound))
+					if o.Emergency {
+						return 0, 0, false
+					}
+					tlo, thi, ok := o.Envelope(sc.Ego)
+					if !ok {
+						return 0, 0, false
+					}
+					if tlo > lo {
+						lo = tlo
+					}
+					if thi < hi {
+						hi = thi
+					}
+				}
+				return lo, hi, lo <= hi
+			}
+			a0, emergency, gres = gs.Step(t, plan, func() float64 { return sc.EmergencyAccel(ego) }, env)
 		} else {
-			a0, emergency = agent.Accel(t, ego, ks)
+			a0, emergency = plan()
+		}
+		if coll != nil {
+			coll.OnStep(multiStepProbe(sc, t, emergency, ks, time.Since(start).Nanoseconds()))
+			if gs != nil {
+				gs.Report(coll, t, gres)
+			}
 		}
 		if emergency {
 			res.EmergencySteps++
 		}
 		if len(opts.Invariants) > 0 {
 			for i, tr := range tracks {
-				if ierr := CheckStepInvariants(opts.Invariants, StepInfo{
+				si := StepInfo{
 					T: t, Vehicle: i, Ego: ego, Other: tr.state, OtherA: tr.accel,
 					Est: ests[i], Accel: a0, Emergency: emergency,
-				}); ierr != nil {
+				}
+				if gs != nil {
+					gs.Annotate(&si, gres)
+				}
+				if ierr := CheckStepInvariants(opts.Invariants, si); ierr != nil {
 					return res, ierr
 				}
 			}

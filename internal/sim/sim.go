@@ -15,8 +15,11 @@ import (
 	"safeplan/internal/core"
 	"safeplan/internal/disturb"
 	"safeplan/internal/dynamics"
+	"safeplan/internal/faultinject"
 	"safeplan/internal/fusion"
+	"safeplan/internal/guard"
 	"safeplan/internal/leftturn"
+	"safeplan/internal/monitor"
 	"safeplan/internal/sensor"
 	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
@@ -68,6 +71,22 @@ type Config struct {
 	// OncomingSpeedMin/Max sample the initial oncoming speed; both zero
 	// keeps the configured OncomingInit.V.
 	OncomingSpeedMin, OncomingSpeedMax float64
+
+	// Guard, when non-nil, wraps every planner invocation in the
+	// compute-fault containment layer (internal/guard): panics are
+	// recovered, non-finite or out-of-range accelerations rejected, and
+	// deadline overruns detected, each falling back to the last validated
+	// action or κ_e.  Zero Limits are filled from Scenario.Ego.
+	Guard *guard.Config
+
+	// PlannerFault, when non-nil, injects compute faults into the planner
+	// (internal/faultinject): panics, NaN outputs, stuck or biased
+	// actuation, latency spikes.  A guard is installed automatically
+	// (DefaultConfig) when none is configured — injected panics must never
+	// escape Run.  The injector's random streams derive from the master
+	// seed after every legacy stream, so configurations without a fault
+	// model keep their exact per-seed behaviour.
+	PlannerFault faultinject.Model
 }
 
 // DefaultHorizon cuts an episode after 30 simulated seconds.
@@ -105,6 +124,23 @@ func (c Config) Validate() error {
 	if err := c.Driver.Validate(); err != nil {
 		return err
 	}
+	// NaN compares false with every ordering operator, so the range checks
+	// below would silently accept NaN fields; reject non-finite values
+	// explicitly first.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"DtM", c.DtM}, {"DtS", c.DtS}, {"Horizon", c.Horizon},
+		{"SensorDropProb", c.SensorDropProb},
+		{"OncomingStartSpread", c.OncomingStartSpread},
+		{"OncomingSpeedMin", c.OncomingSpeedMin},
+		{"OncomingSpeedMax", c.OncomingSpeedMax},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("sim: %s is %v (must be finite)", f.name, f.v)
+		}
+	}
 	if c.DtM <= 0 || c.DtS <= 0 {
 		return fmt.Errorf("sim: non-positive periods DtM=%v DtS=%v", c.DtM, c.DtS)
 	}
@@ -128,6 +164,20 @@ func (c Config) Validate() error {
 	for i, a := range c.OncomingScript {
 		if math.IsNaN(a) || math.IsInf(a, 0) {
 			return fmt.Errorf("sim: oncoming script step %d is %v", i, a)
+		}
+	}
+	if c.Guard != nil {
+		g := *c.Guard
+		if g.Limits == (dynamics.Limits{}) {
+			g.Limits = c.Scenario.Ego // NewGuardedStep applies the same fill
+		}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	if c.PlannerFault != nil {
+		if err := c.PlannerFault.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
 		}
 	}
 	return nil
@@ -179,6 +229,11 @@ type Result struct {
 	// contain the true oncoming state (diagnostic; expected 0 without the
 	// Kalman component and near 0 with it).
 	SoundnessViolations int
+
+	// Guard aggregates the planner-fault guard's activity for the episode.
+	// All-zero (with WorstState/FinalState Nominal) when no guard is
+	// configured.
+	Guard guard.EpisodeStats
 
 	Trace []Sample
 }
@@ -258,6 +313,20 @@ func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
 	if cfg.SensorDisturb != nil {
 		sensProc = cfg.SensorDisturb.NewSensor(rand.New(rand.NewSource(master.Int63())))
 	}
+	// Planner-fault streams derive after the disturbance streams, under the
+	// same compatibility rule.
+	gs, err := NewGuardedStep(cfg.Guard, cfg.PlannerFault, cfg.Scenario.Ego, master)
+	if err != nil {
+		return Result{}, err
+	}
+	if gs != nil {
+		defer func() { res.Guard = gs.Stats() }()
+	}
+	// The guard validates executed commands against the monitor's
+	// safe-action envelope, recomputed from the sound estimate (the only
+	// basis with a soundness guarantee, regardless of any agent-side
+	// monitor ablation).
+	mon := monitor.New(cfg.Scenario)
 
 	driver, err := traffic.NewDriver(cfg.Driver, driverRng)
 	if err != nil {
@@ -356,9 +425,21 @@ func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
 		}
 		var a0 float64
 		var emergency bool
+		var gres guard.StepResult
+		plan := func() (float64, bool) { return agent.Accel(t, ego, know) }
+		var start time.Time
 		if coll != nil {
-			start := time.Now()
-			a0, emergency = agent.Accel(t, ego, know)
+			start = time.Now()
+		}
+		if gs != nil {
+			env := func() (float64, float64, bool) {
+				return mon.Assess(ego, sc.ConservativeWindow(know.Sound)).Envelope(sc.Ego)
+			}
+			a0, emergency, gres = gs.Step(t, plan, func() float64 { return sc.EmergencyAccel(ego) }, env)
+		} else {
+			a0, emergency = plan()
+		}
+		if coll != nil {
 			coll.OnStep(telemetry.StepProbe{
 				T:          t,
 				Emergency:  emergency,
@@ -368,17 +449,22 @@ func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
 				AggrWidth:  sc.AggressiveWindow(know.Fused).Width(),
 				PlannerNs:  time.Since(start).Nanoseconds(),
 			})
-		} else {
-			a0, emergency = agent.Accel(t, ego, know)
+			if gs != nil {
+				gs.Report(coll, t, gres)
+			}
 		}
 		if emergency {
 			res.EmergencySteps++
 		}
 		if len(opts.Invariants) > 0 {
-			if ierr := CheckStepInvariants(opts.Invariants, StepInfo{
+			si := StepInfo{
 				T: t, Ego: ego, Other: onc, OtherA: oncA,
 				Est: est, Accel: a0, Emergency: emergency,
-			}); ierr != nil {
+			}
+			if gs != nil {
+				gs.Annotate(&si, gres)
+			}
+			if ierr := CheckStepInvariants(opts.Invariants, si); ierr != nil {
 				return res, ierr
 			}
 		}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsGuardEventCounters(t *testing.T) {
+	m := NewMetrics()
+	m.OnGuardEvent(GuardEvent{T: 0.1, Fault: GuardFaultPanic, Fallback: GuardFallbackEmergency, State: "nominal", From: "nominal"})
+	m.OnGuardEvent(GuardEvent{T: 0.2, Fault: GuardFaultNonFinite, Fallback: GuardFallbackLastGood, State: "nominal", From: "nominal"})
+	m.OnGuardEvent(GuardEvent{T: 0.3, Fault: GuardFaultNonFinite, Fallback: GuardFallbackEmergency, State: "degraded", From: "nominal", Transition: true})
+	m.OnGuardEvent(GuardEvent{T: 0.4, Fault: "martian", Fallback: "martian", State: "degraded", From: "degraded"})
+
+	s := m.Snapshot()
+	if s.GuardEvents != 4 {
+		t.Fatalf("GuardEvents = %d", s.GuardEvents)
+	}
+	if s.GuardFaults[GuardFaultPanic] != 1 || s.GuardFaults[GuardFaultNonFinite] != 2 || s.GuardFaults["other"] != 1 {
+		t.Fatalf("GuardFaults = %v", s.GuardFaults)
+	}
+	if s.GuardFallbacks[GuardFallbackEmergency] != 2 || s.GuardFallbacks[GuardFallbackLastGood] != 1 || s.GuardFallbacks["other"] != 1 {
+		t.Fatalf("GuardFallbacks = %v", s.GuardFallbacks)
+	}
+	if s.GuardTransitionTotal != 1 || len(s.GuardTransitions) != 1 {
+		t.Fatalf("transitions: total %d, log %v", s.GuardTransitionTotal, s.GuardTransitions)
+	}
+	tr := s.GuardTransitions[0]
+	if tr.T != 0.3 || tr.From != "nominal" || tr.To != "degraded" {
+		t.Fatalf("transition = %+v", tr)
+	}
+
+	text := s.Text()
+	for _, want := range []string{"guard events:", "panic=1", "non-finite=2", "emergency=2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsGuardNoEventsStaysEmpty(t *testing.T) {
+	s := NewMetrics().Snapshot()
+	if s.GuardEvents != 0 || s.GuardFaults != nil || s.GuardFallbacks != nil || s.GuardTransitions != nil {
+		t.Fatalf("zero-guard snapshot not empty: %+v", s)
+	}
+	if strings.Contains(s.Text(), "guard") {
+		t.Error("text dump mentions guard with no guard events")
+	}
+}
+
+func TestMetricsGuardTransitionLogBounded(t *testing.T) {
+	m := NewMetrics()
+	const n = maxGuardTransitions + 50
+	for i := 0; i < n; i++ {
+		m.OnGuardEvent(GuardEvent{T: float64(i), From: "nominal", State: "degraded", Transition: true})
+	}
+	s := m.Snapshot()
+	if len(s.GuardTransitions) != maxGuardTransitions {
+		t.Fatalf("log length %d, want bound %d", len(s.GuardTransitions), maxGuardTransitions)
+	}
+	if s.GuardTransitionTotal != n {
+		t.Fatalf("transition total %d, want %d", s.GuardTransitionTotal, n)
+	}
+}
+
+func TestMetricsGuardEventConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.OnGuardEvent(GuardEvent{T: float64(i), Fault: GuardFaultPanic, Fallback: GuardFallbackEmergency, Transition: i%10 == 0, From: "nominal", State: "degraded"})
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.GuardEvents != 4000 || s.GuardFaults[GuardFaultPanic] != 4000 {
+		t.Fatalf("concurrent counts: events %d faults %v", s.GuardEvents, s.GuardFaults)
+	}
+	if s.GuardTransitionTotal != 400 {
+		t.Fatalf("transition total %d", s.GuardTransitionTotal)
+	}
+}
+
+// TestMetricsGuardCounterOverflow pins the documented overflow behaviour
+// of the fault-event counters: plain int64 wrap-around, no saturation and
+// no panic.
+func TestMetricsGuardCounterOverflow(t *testing.T) {
+	m := NewMetrics()
+	m.guardFaults[0].Store(math.MaxInt64) // knownGuardFaults[0] = panic
+	m.guardEvents.Store(math.MaxInt64)
+	m.OnGuardEvent(GuardEvent{Fault: GuardFaultPanic})
+	if got := m.guardFaults[0].Load(); got != math.MinInt64 {
+		t.Fatalf("fault counter after overflow = %d, want wrap to MinInt64", got)
+	}
+	if got := m.guardEvents.Load(); got != math.MinInt64 {
+		t.Fatalf("event counter after overflow = %d, want wrap to MinInt64", got)
+	}
+	// The snapshot must survive the wrapped (negative) counters: the
+	// negative value is elided from the by-name map (n == 0 filter keeps
+	// only nonzero, negative included) — pin the actual behaviour.
+	s := m.Snapshot()
+	if s.GuardFaults[GuardFaultPanic] != math.MinInt64 {
+		t.Fatalf("snapshot fault count = %v", s.GuardFaults)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is NaN.
+	empty := NewHistogram(1, 2).Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if !math.IsNaN(empty.Quantile(q)) {
+			t.Errorf("empty histogram Quantile(%v) = %v, want NaN", q, empty.Quantile(q))
+		}
+	}
+
+	// Single observation (single populated bucket): q=0 → Min, q=1 → Max,
+	// interior quantiles clamp into [Min, Max] (here Min == Max).
+	single := NewHistogram(1, 2)
+	single.Observe(1.5)
+	ss := single.Snapshot()
+	if got := ss.Quantile(0); got != 1.5 {
+		t.Errorf("single Quantile(0) = %v", got)
+	}
+	if got := ss.Quantile(1); got != 1.5 {
+		t.Errorf("single Quantile(1) = %v", got)
+	}
+	if got := ss.Quantile(0.5); got != 1.5 {
+		t.Errorf("single Quantile(0.5) = %v", got)
+	}
+
+	// q outside [0,1] clamps to Min/Max; NaN propagates.
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1.5, 3, 8} {
+		h.Observe(v)
+	}
+	hs := h.Snapshot()
+	if got := hs.Quantile(-0.5); got != hs.Min {
+		t.Errorf("Quantile(-0.5) = %v, want Min %v", got, hs.Min)
+	}
+	if got := hs.Quantile(2); got != hs.Max {
+		t.Errorf("Quantile(2) = %v, want Max %v", got, hs.Max)
+	}
+	if !math.IsNaN(hs.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) not NaN")
+	}
+	// Monotone in q and clamped into [Min, Max].
+	prev := hs.Quantile(0)
+	for q := 0.05; q <= 1; q += 0.05 {
+		v := hs.Quantile(q)
+		if v < prev-1e-12 {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		if v < hs.Min || v > hs.Max {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, hs.Min, hs.Max)
+		}
+		prev = v
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -26,6 +27,25 @@ var knownReasons = []string{ReasonPlanner, ReasonBoundary, ReasonUnsafe, ReasonH
 
 const reasonOther = "other"
 
+// knownGuardFaults and knownGuardFallbacks index the fixed guard-event
+// counters, mirroring knownReasons; unknown strings land in the trailing
+// "other" slot.
+var (
+	knownGuardFaults    = []string{GuardFaultPanic, GuardFaultDeadline, GuardFaultWallClock, GuardFaultNonFinite, GuardFaultRange}
+	knownGuardFallbacks = []string{GuardFallbackLastGood, GuardFallbackEmergency}
+)
+
+// maxGuardTransitions bounds the retained degradation-transition log; a
+// pathological flaky campaign must not grow the collector without bound.
+const maxGuardTransitions = 256
+
+// GuardTransition is one retained degradation-state transition.
+type GuardTransition struct {
+	T    float64 `json:"t"`
+	From string  `json:"from"`
+	To   string  `json:"to"`
+}
+
 // Metrics is the standard Collector: atomic counters and fixed-bucket
 // histograms, safe to share across every worker of a parallel campaign.
 // The zero value is not usable; call NewMetrics.
@@ -41,6 +61,14 @@ type Metrics struct {
 	etaSum    atomicFloat
 
 	reasons [6]atomic.Int64 // knownReasons order, then reasonOther
+
+	guardEvents    atomic.Int64
+	guardFaults    [6]atomic.Int64 // knownGuardFaults order, then other
+	guardFallbacks [3]atomic.Int64 // knownGuardFallbacks order, then other
+
+	transMu     sync.Mutex
+	transitions []GuardTransition
+	transTotal  int64
 
 	soundWidth *Histogram
 	fusedWidth *Histogram
@@ -80,13 +108,40 @@ func (m *Metrics) OnStep(p StepProbe) {
 
 // OnMonitorDecision implements Collector.
 func (m *Metrics) OnMonitorDecision(reason string) {
-	for i, r := range knownReasons {
-		if reason == r {
-			m.reasons[i].Add(1)
+	countByName(m.reasons[:], knownReasons, reason)
+}
+
+// OnGuardEvent implements Collector.
+func (m *Metrics) OnGuardEvent(e GuardEvent) {
+	m.guardEvents.Add(1)
+	if e.Fault != "" {
+		countByName(m.guardFaults[:], knownGuardFaults, e.Fault)
+	}
+	if e.Fallback != "" {
+		countByName(m.guardFallbacks[:], knownGuardFallbacks, e.Fallback)
+	}
+	if e.Transition {
+		m.transMu.Lock()
+		m.transTotal++
+		if len(m.transitions) < maxGuardTransitions {
+			m.transitions = append(m.transitions, GuardTransition{T: e.T, From: e.From, To: e.State})
+		}
+		m.transMu.Unlock()
+	}
+}
+
+// countByName bumps the counter matching name, or the trailing "other"
+// slot.  Counters are plain wrapping int64s: a campaign long enough to
+// overflow one (≈9.2·10¹⁸ events) wraps silently like every other Go
+// counter, which the overflow test pins down.
+func countByName(counters []atomic.Int64, names []string, name string) {
+	for i, n := range names {
+		if name == n {
+			counters[i].Add(1)
 			return
 		}
 	}
-	m.reasons[len(knownReasons)].Add(1)
+	counters[len(names)].Add(1)
 }
 
 // OnEpisode implements Collector.
@@ -136,6 +191,18 @@ type Snapshot struct {
 	// which bypass the monitor entirely.
 	MonitorReasons map[string]int64 `json:"monitor_reasons,omitempty"`
 
+	// GuardEvents counts planner-fault guard interventions; GuardFaults
+	// and GuardFallbacks break them down by kind.  All empty when no
+	// guard is active.
+	GuardEvents    int64            `json:"guard_events,omitempty"`
+	GuardFaults    map[string]int64 `json:"guard_faults,omitempty"`
+	GuardFallbacks map[string]int64 `json:"guard_fallbacks,omitempty"`
+	// GuardTransitions retains the first maxGuardTransitions
+	// degradation-state transitions; GuardTransitionTotal is the true
+	// count (the log is bounded, the counter is not).
+	GuardTransitions     []GuardTransition `json:"guard_transitions,omitempty"`
+	GuardTransitionTotal int64             `json:"guard_transition_total,omitempty"`
+
 	SoundWidth     HistogramSnapshot `json:"sound_width_m"`
 	FusedWidth     HistogramSnapshot `json:"fused_width_m"`
 	ConsWidth      HistogramSnapshot `json:"cons_window_s"`
@@ -184,7 +251,36 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 		s.MonitorReasons[reasonOther] = n
 	}
+	s.GuardEvents = m.guardEvents.Load()
+	s.GuardFaults = snapshotByName(m.guardFaults[:], knownGuardFaults)
+	s.GuardFallbacks = snapshotByName(m.guardFallbacks[:], knownGuardFallbacks)
+	m.transMu.Lock()
+	if len(m.transitions) > 0 {
+		s.GuardTransitions = append([]GuardTransition(nil), m.transitions...)
+	}
+	s.GuardTransitionTotal = m.transTotal
+	m.transMu.Unlock()
 	return s
+}
+
+// snapshotByName copies the nonzero named counters (plus the trailing
+// "other" slot) into a map, or nil when all are zero.
+func snapshotByName(counters []atomic.Int64, names []string) map[string]int64 {
+	var out map[string]int64
+	add := func(name string, n int64) {
+		if n == 0 {
+			return
+		}
+		if out == nil {
+			out = make(map[string]int64)
+		}
+		out[name] = n
+	}
+	for i, name := range names {
+		add(name, counters[i].Load())
+	}
+	add("other", counters[len(names)].Load())
+	return out
 }
 
 // JSON renders the snapshot as indented JSON.
@@ -211,6 +307,11 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 		b.WriteByte('\n')
 	}
+	if s.GuardEvents > 0 {
+		fmt.Fprintf(&b, "guard events:    %d (transitions %d)\n", s.GuardEvents, s.GuardTransitionTotal)
+		writeNamedCounts(&b, "guard faults", s.GuardFaults)
+		writeNamedCounts(&b, "guard fallback", s.GuardFallbacks)
+	}
 	writeHist(&b, "sound width [m]", s.SoundWidth, 1)
 	writeHist(&b, "fused width [m]", s.FusedWidth, 1)
 	writeHist(&b, "cons window [s]", s.ConsWidth, 1)
@@ -228,6 +329,23 @@ func (s Snapshot) Text() string {
 	var b strings.Builder
 	_ = s.WriteText(&b)
 	return b.String()
+}
+
+// writeNamedCounts prints one sorted key=value counter line.
+func writeNamedCounts(b *strings.Builder, label string, counts map[string]int64) {
+	if len(counts) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(b, "%-16s", label+":")
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%d", k, counts[k])
+	}
+	b.WriteByte('\n')
 }
 
 // writeHist prints one histogram line; scale converts the native unit for

@@ -73,6 +73,41 @@ type EpisodeOutcome struct {
 	SoundnessViolations int
 }
 
+// Guard fault and fallback kinds, as reported by the planner-fault guard
+// (internal/guard) via Collector.OnGuardEvent.  The strings mirror the
+// guard's Fault/Fallback Stringers.
+const (
+	GuardFaultPanic     = "panic"
+	GuardFaultDeadline  = "deadline"
+	GuardFaultWallClock = "wall-clock"
+	GuardFaultNonFinite = "non-finite"
+	GuardFaultRange     = "range"
+
+	GuardFallbackLastGood  = "last-good"
+	GuardFallbackEmergency = "emergency"
+)
+
+// GuardEvent is one planner-fault guard intervention: a contained κ_n
+// failure, a substituted fallback command, or a degradation-state
+// transition.  Clean pass-through steps are not reported.
+type GuardEvent struct {
+	// T is the simulation time of the step [s].
+	T float64
+	// Fault is the contained failure kind (one of the GuardFault*
+	// constants; empty on a clean EmergencyOnly bypass step).
+	Fault string
+	// Fallback names the source of the executed command (one of the
+	// GuardFallback* constants; empty when κ_n's own output survived a
+	// state transition step).
+	Fallback string
+	// State is the degradation state after the step; From is the state
+	// before it (equal unless Transition).
+	State, From string
+	// Transition is true when the step moved the degradation state
+	// machine.
+	Transition bool
+}
+
 // Collector receives probes from the simulation engine.  Implementations
 // MUST be safe for concurrent use: parallel campaigns share one collector
 // across all workers.  Embed Nop to implement only the probes you need.
@@ -83,6 +118,10 @@ type Collector interface {
 	// the Reason* constants (ReasonPlanner when κ_n kept control).  It is
 	// reported by the compound planners, so pure agents never call it.
 	OnMonitorDecision(reason string)
+	// OnGuardEvent observes one planner-fault guard intervention
+	// (contained fault, fallback substitution, or degradation-state
+	// transition).  Reported only when a guard is active.
+	OnGuardEvent(e GuardEvent)
 	// OnEpisode observes one finished episode.
 	OnEpisode(o EpisodeOutcome)
 	// OnProgress observes campaign progress: done of total episodes have
@@ -101,6 +140,9 @@ func (Nop) OnStep(StepProbe) {}
 // OnMonitorDecision implements Collector.
 func (Nop) OnMonitorDecision(string) {}
 
+// OnGuardEvent implements Collector.
+func (Nop) OnGuardEvent(GuardEvent) {}
+
 // OnEpisode implements Collector.
 func (Nop) OnEpisode(EpisodeOutcome) {}
 
@@ -116,6 +158,9 @@ func (ProgressFunc) OnStep(StepProbe) {}
 
 // OnMonitorDecision implements Collector.
 func (ProgressFunc) OnMonitorDecision(string) {}
+
+// OnGuardEvent implements Collector.
+func (ProgressFunc) OnGuardEvent(GuardEvent) {}
 
 // OnEpisode implements Collector.
 func (ProgressFunc) OnEpisode(EpisodeOutcome) {}
@@ -156,6 +201,13 @@ func (m multi) OnStep(p StepProbe) {
 func (m multi) OnMonitorDecision(reason string) {
 	for _, c := range m {
 		c.OnMonitorDecision(reason)
+	}
+}
+
+// OnGuardEvent implements Collector.
+func (m multi) OnGuardEvent(e GuardEvent) {
+	for _, c := range m {
+		c.OnGuardEvent(e)
 	}
 }
 

@@ -36,6 +36,8 @@ import (
 	"safeplan/internal/dynamics"
 	"safeplan/internal/eval"
 	"safeplan/internal/experiments"
+	"safeplan/internal/faultinject"
+	"safeplan/internal/guard"
 	"safeplan/internal/interval"
 	"safeplan/internal/leftturn"
 	"safeplan/internal/planner"
@@ -160,6 +162,66 @@ var (
 	SensorDisturbancePresetNames = disturb.SensorPresetNames
 )
 
+// Planner-fault containment (internal/guard, internal/faultinject): a
+// guard wraps every κ_n invocation, catching panics, rejecting
+// non-finite or out-of-envelope commands, enforcing a per-step compute
+// deadline, and substituting a validated fallback — so a compute-faulty
+// planner degrades to the emergency planner instead of crashing or
+// steering the vehicle with garbage.  The paper's safety theorem needs
+// only an admissible acceleration each step, which the fallback always
+// supplies; see DESIGN.md §11 for the argument.
+type (
+	// GuardConfig tunes the planner guard (budgets, fallback TTL,
+	// degradation thresholds).  Leave Limits zero to inherit the
+	// scenario's ego envelope.
+	GuardConfig = guard.Config
+	// GuardState is the degradation state machine's level
+	// (nominal → degraded → emergency-only).
+	GuardState = guard.State
+	// GuardEpisodeStats aggregates one episode's guard activity
+	// (fault counts by class, fallback counts, state transitions).
+	GuardEpisodeStats = guard.EpisodeStats
+	// PlannerFaultModel is a composable compute-fault injection process
+	// (panics, NaN outputs, stuck/biased output stages, latency spikes).
+	PlannerFaultModel = faultinject.Model
+)
+
+// Guard degradation states, re-exported for switch statements over
+// GuardEpisodeStats.WorstState.
+const (
+	GuardNominal       = guard.Nominal
+	GuardDegraded      = guard.Degraded
+	GuardEmergencyOnly = guard.EmergencyOnly
+)
+
+// DefaultGuardConfig returns the standard guard tuning for a vehicle
+// envelope (0.1 s step budget, 5-step fallback TTL, 3/8 degradation
+// scores, 20-step recovery streak).
+func DefaultGuardConfig(lim VehicleLimits) GuardConfig { return guard.DefaultConfig(lim) }
+
+// Named planner-fault presets (see internal/faultinject/preset.go).
+var (
+	// PlannerFaultPreset resolves a named compute-fault model ("panic",
+	// "nan", "stuck", "bias", "latency", "flaky", "worst", …).
+	PlannerFaultPreset = faultinject.Preset
+	// PlannerFaultPresetNames lists the planner-fault presets.
+	PlannerFaultPresetNames = faultinject.PresetNames
+)
+
+// FaultInvariants returns the checker set for guarded runs under planner
+// fault injection: no collision, sound estimates, the Eq. 4 one-step
+// slack, and guard-intervention well-formedness.  MonitorConsistency is
+// deliberately absent — a guard-forced κ_e step diverges from the
+// monitor's verdict by design.
+func FaultInvariants(sc Scenario) []Invariant {
+	return []Invariant{
+		sim.NoCollision{},
+		sim.SoundEstimate{},
+		sim.EmergencyOneStep{Cfg: sc},
+		sim.NewGuardConsistency(sc),
+	}
+}
+
 // NewConservativeExpert returns the yield-first expert policy κ_n,cons.
 func NewConservativeExpert(sc Scenario) *Expert { return planner.ConservativeExpert(sc) }
 
@@ -228,6 +290,8 @@ type runSettings struct {
 	workersSet bool
 	disturb    disturb.Model
 	sensorDist disturb.SensorModel
+	guard      *guard.Config
+	fault      faultinject.Model
 }
 
 // WithTrace records the per-step trace in the episode result.  It is
@@ -271,6 +335,30 @@ func WithSensorDisturbance(m SensorDisturbanceModel) RunOption {
 	return func(s *runSettings) { s.sensorDist = m }
 }
 
+// WithGuard wraps every planner invocation in the compute-fault guard:
+// panics are recovered, non-finite or out-of-envelope commands rejected,
+// the per-step compute budget enforced, and a validated fallback (the
+// last good command or κ_e) substituted.  With a healthy planner the
+// guard is a bit-exact pass-through — traces and statistics are
+// unchanged.  Leave cfg.Limits zero to inherit the scenario's envelope.
+//
+//	gc := safeplan.DefaultGuardConfig(safeplan.VehicleLimits{})
+//	res, err := safeplan.RunEpisode(cfg, agent, 1, safeplan.WithGuard(gc))
+func WithGuard(cfg GuardConfig) RunOption {
+	return func(s *runSettings) { s.guard = &cfg }
+}
+
+// WithPlannerFault injects compute faults into every planner invocation
+// (inside the guard, so injected panics and latencies are contained and
+// accounted like genuine ones).  A fault model without an explicit
+// WithGuard installs the default guard — injected panics never escape.
+//
+//	m, _ := safeplan.PlannerFaultPreset("worst")
+//	stats, err := safeplan.RunCampaign(cfg, agent, 1000, 1, safeplan.WithPlannerFault(m))
+func WithPlannerFault(m PlannerFaultModel) RunOption {
+	return func(s *runSettings) { s.fault = m }
+}
+
 // applySettings folds the options and validates them.
 func applySettings(opts []RunOption) (runSettings, error) {
 	var s runSettings
@@ -288,6 +376,11 @@ func applySettings(opts []RunOption) (runSettings, error) {
 	if s.sensorDist != nil {
 		if err := s.sensorDist.Validate(); err != nil {
 			return s, fmt.Errorf("safeplan: WithSensorDisturbance: %w", err)
+		}
+	}
+	if s.fault != nil {
+		if err := s.fault.Validate(); err != nil {
+			return s, fmt.Errorf("safeplan: WithPlannerFault: %w", err)
 		}
 	}
 	return s, nil
@@ -319,6 +412,12 @@ func (s runSettings) applySim(cfg *sim.Config) {
 	if s.sensorDist != nil {
 		cfg.SensorDisturb = s.sensorDist
 	}
+	if s.guard != nil {
+		cfg.Guard = s.guard
+	}
+	if s.fault != nil {
+		cfg.PlannerFault = s.fault
+	}
 }
 
 // applyCarFollow folds the disturbance options into a car-following config.
@@ -328,6 +427,12 @@ func (s runSettings) applyCarFollow(cfg *carfollow.SimConfig) {
 	}
 	if s.sensorDist != nil {
 		cfg.SensorDisturb = s.sensorDist
+	}
+	if s.guard != nil {
+		cfg.Guard = s.guard
+	}
+	if s.fault != nil {
+		cfg.PlannerFault = s.fault
 	}
 }
 
