@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-campaign bench-seed bench-guard campaign-smoke guard-smoke golden fuzz-smoke lint-extra
+.PHONY: build test check bench bench-campaign bench-seed bench-guard bench-perf campaign-smoke guard-smoke alloc-gate golden fuzz-smoke lint-extra
 
 build:
 	$(GO) build ./...
@@ -31,11 +31,19 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCarFollowSafety -fuzztime 20s ./internal/carfollow
 	$(GO) test -run '^$$' -fuzz FuzzGuardedPlanner -fuzztime 20s ./internal/sim
 
-# Optional linters: run them when the tools are installed, skip quietly
-# when they are not (the container does not ship them).
+# Optional linters plus the in-tree determinism hygiene check: no global
+# math/rand calls and no new time.Now in the stepping packages (see
+# scripts/lint_determinism.sh for the rationale and the probe budget).
 lint-extra:
+	./scripts/lint_determinism.sh
 	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; skipping"
 	@command -v govulncheck >/dev/null 2>&1 && govulncheck ./... || echo "govulncheck not installed; skipping"
+
+# Allocation-regression gate: a warmed scratch arena must keep the episode
+# hot path allocation-free (budget in internal/sim/alloc_test.go), and the
+# arena path must stay bit-identical to the allocate-per-episode path.
+alloc-gate:
+	$(GO) test -run 'TestEpisodeAllocs|TestMultiEpisodeAllocs|TestScratchParity' ./internal/sim -v
 
 # Go micro/macro benchmarks only (no unit tests alongside).
 bench:
@@ -67,3 +75,8 @@ guard-smoke:
 # writes BENCH_guard.json with mean η and crash-free rate per preset.
 bench-guard:
 	$(GO) run ./cmd/bench -guard -out BENCH_guard.json
+
+# Allocation/latency matrix: each episode runner measured with the scratch
+# arena off and on (ns/step, B/op, allocs/op); writes BENCH_perf.json.
+bench-perf:
+	$(GO) run ./cmd/bench -perf -out BENCH_perf.json

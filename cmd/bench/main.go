@@ -40,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"safeplan/internal/campaign"
@@ -99,8 +100,47 @@ func main() {
 		smoke      = flag.Bool("smoke", false, "CI safety gate: one 10k-episode campaign, invariants in fail mode")
 		guardMode  = flag.Bool("guard", false, "compute-fault matrix: one campaign per planner-fault preset under the guarded design")
 		checkpoint = flag.String("checkpoint", "", "directory for per-campaign checkpoints (enables resume)")
+		perfMode   = flag.Bool("perf", false, "allocation/latency matrix: ns/step, B/op, allocs/op per scenario, scratch off vs on (BENCH_perf.json)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	if *perfMode {
+		o := *out
+		if !flagPassed("out") {
+			o = "BENCH_perf.json"
+		}
+		runPerfMatrix(*seed, o)
+		return
+	}
 
 	if *smoke {
 		if *guardMode {
@@ -190,7 +230,7 @@ func main() {
 		os.Stdout.Write(raw)
 		return
 	}
-	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+	if err := campaign.WriteFileAtomic(*out, raw); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%d campaigns)", *out, len(report.Campaigns))
@@ -273,29 +313,43 @@ func invariantSet(cfg sim.Config) []sim.Invariant {
 	}
 }
 
-// runSmoke is the CI safety gate: one 10k-episode campaign under the
-// delayed setting with every checker in fail mode.  Any violation makes the
-// campaign — and the process — fail.
+// runSmoke is the CI safety gate: a clean (no-disturbance) and a disturbed
+// (delayed) 10k-episode campaign with every checker in fail mode.  Any
+// violation makes the campaign — and the process — fail, and the
+// sound_violations counter must come back zero from both: the soundness
+// contract holds with and without communication disturbance.
 func runSmoke(workers int, seed int64) {
-	s := experiments.StandardSettings()[1] // messages delayed
-	cfg := experiments.SettingConfig(s)
-	cfg.InfoFilter = true
-	// The aggressive planner exercises κ_e heavily, which is what the
-	// emergency checkers are for.
-	agent := core.NewUltimate(cfg.Scenario, planner.AggressiveExpert(cfg.Scenario))
-	rep, err := campaign.Run(campaign.Spec{
-		Name:       "smoke/delayed/ultimate-aggressive",
-		Episodes:   10_000,
-		BaseSeed:   seed,
-		Workers:    workers,
-		Invariants: invariantSet(cfg),
-	}, campaign.LeftTurn(cfg, agent))
-	if err != nil {
-		log.Fatalf("SMOKE FAILED: %v", err)
+	settings := experiments.StandardSettings()
+	for _, s := range []struct {
+		label string
+		idx   int
+	}{
+		{"clean", 0},   // no disturbance
+		{"delayed", 1}, // messages delayed
+	} {
+		cfg := experiments.SettingConfig(settings[s.idx])
+		cfg.InfoFilter = true
+		// The aggressive planner exercises κ_e heavily, which is what the
+		// emergency checkers are for.
+		agent := core.NewUltimate(cfg.Scenario, planner.AggressiveExpert(cfg.Scenario))
+		rep, err := campaign.Run(campaign.Spec{
+			Name:       "smoke/" + s.label + "/ultimate-aggressive",
+			Episodes:   10_000,
+			BaseSeed:   seed,
+			Workers:    workers,
+			Invariants: invariantSet(cfg),
+		}, campaign.LeftTurn(cfg, agent))
+		if err != nil {
+			log.Fatalf("SMOKE FAILED (%s): %v", s.label, err)
+		}
+		if rep.Stats.SoundViolations != 0 {
+			log.Fatalf("SMOKE FAILED (%s): %d sound-interval violations (must be 0)",
+				s.label, rep.Stats.SoundViolations)
+		}
+		fmt.Printf("smoke OK (%s): %d episodes, safe %d/%d, %.0f eps/s, emergency episodes %d, sound violations 0\n",
+			s.label, rep.Stats.Episodes, rep.Stats.Episodes-rep.Stats.Collided, rep.Stats.Episodes,
+			rep.Perf.EpisodesPerSec, rep.Stats.EmergencyEpisodes)
 	}
-	fmt.Printf("smoke OK: %d episodes, safe %d/%d, %.0f eps/s, emergency episodes %d\n",
-		rep.Stats.Episodes, rep.Stats.Episodes-rep.Stats.Collided, rep.Stats.Episodes,
-		rep.Perf.EpisodesPerSec, rep.Stats.EmergencyEpisodes)
 }
 
 // guardBenchReport is the file layout of BENCH_guard.json: one guarded
@@ -409,7 +463,7 @@ func runGuardMatrix(n, w int, seed int64, out, checkpoint string) {
 		os.Stdout.Write(raw)
 		return
 	}
-	if err := os.WriteFile(out, raw, 0o644); err != nil {
+	if err := campaign.WriteFileAtomic(out, raw); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%d fault campaigns)", out, len(report.Campaigns))

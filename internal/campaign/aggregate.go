@@ -20,9 +20,23 @@ type ShardStats struct {
 	// computed over (per-step counts are not i.i.d.).
 	EmergencyEpisodes int64 `json:"emergency_episodes"`
 
-	Steps               int64 `json:"steps"`
-	EmergencySteps      int64 `json:"emergency_steps"`
+	Steps          int64 `json:"steps"`
+	EmergencySteps int64 `json:"emergency_steps"`
+
+	// FusedIntervalMisses counts steps whose fused (deliberately
+	// non-guaranteed, Kalman-sharpened) interval missed the true state —
+	// expected sharpening error, not a soundness breach.  This counter was
+	// historically (mis)named SoundnessViolations; the old JSON key is kept
+	// below as a deprecated alias for one release.
+	FusedIntervalMisses int64 `json:"fused_interval_misses"`
+	// Deprecated: SoundnessViolations mirrors FusedIntervalMisses under the
+	// pre-rename JSON key so existing report consumers keep working.  It is
+	// kept equal to FusedIntervalMisses and will be removed next release.
 	SoundnessViolations int64 `json:"soundness_violations"`
+	// SoundViolations counts genuine soundness-contract violations: steps
+	// where the sound interval pair missed the true state.  The framework's
+	// guarantee rests on this being 0 (cmd/bench -smoke asserts it).
+	SoundViolations int64 `json:"sound_violations"`
 
 	// Eta accumulates η over all episodes; ReachTimeSafe accumulates
 	// reaching time over safe, reached episodes (the paper's '*' rows);
@@ -72,7 +86,9 @@ func (a *ShardStats) Observe(r *sim.Result) {
 	}
 	a.Steps += int64(r.Steps)
 	a.EmergencySteps += int64(r.EmergencySteps)
-	a.SoundnessViolations += int64(r.SoundnessViolations)
+	a.FusedIntervalMisses += int64(r.FusedIntervalMisses)
+	a.SoundnessViolations = a.FusedIntervalMisses // deprecated alias stays equal
+	a.SoundViolations += int64(r.SoundViolations)
 	a.Eta.Observe(r.Eta)
 	if r.Reached && !r.Collided {
 		a.ReachTimeSafe.Observe(r.ReachTime)
@@ -113,7 +129,9 @@ func (a *ShardStats) Merge(b *ShardStats) {
 	a.EmergencyEpisodes += b.EmergencyEpisodes
 	a.Steps += b.Steps
 	a.EmergencySteps += b.EmergencySteps
-	a.SoundnessViolations += b.SoundnessViolations
+	a.FusedIntervalMisses += b.FusedIntervalMisses
+	a.SoundnessViolations = a.FusedIntervalMisses // deprecated alias stays equal
+	a.SoundViolations += b.SoundViolations
 	a.Eta.Merge(b.Eta)
 	a.ReachTimeSafe.Merge(b.ReachTimeSafe)
 	a.EmergencyFreq.Merge(b.EmergencyFreq)

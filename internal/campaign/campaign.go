@@ -222,6 +222,13 @@ func Run(spec Spec, episode EpisodeFunc) (*Report, error) {
 		shard := pending[k]
 		lo, hi := shardRange(spec.Episodes, shards, shard)
 		agg := &ShardStats{}
+		// Episode scratch is pooled at shard granularity only: one arena
+		// per in-flight shard, reused across that shard's episodes and
+		// returned when the shard completes.  Episode results are already
+		// seed-deterministic with or without a scratch (the parity tests
+		// assert it), so pooling cannot perturb Stats.
+		scratch := scratchPool.Get().(*sim.Scratch)
+		defer scratchPool.Put(scratch)
 		for e := lo; e < hi; e++ {
 			if firstErr.Load() != nil {
 				return
@@ -231,6 +238,7 @@ func Run(spec Spec, episode EpisodeFunc) (*Report, error) {
 				Seed:       spec.BaseSeed + int64(e),
 				Collector:  spec.Collector,
 				Invariants: invs,
+				Scratch:    scratch,
 			})
 			if err != nil {
 				firstErr.CompareAndSwap(nil, &campaignError{shard: shard, seed: spec.BaseSeed + int64(e), err: err})
@@ -309,6 +317,12 @@ func Run(spec Spec, episode EpisodeFunc) (*Report, error) {
 		Perf:     perf,
 	}, nil
 }
+
+// scratchPool recycles episode arenas across shards.  sync.Pool is safe
+// here precisely because the pool boundary is the shard, never the
+// episode: within a shard one goroutine owns one arena for the whole
+// shard, so no cross-goroutine handoff can reorder anything.
+var scratchPool = sync.Pool{New: func() any { return sim.NewScratch() }}
 
 // campaignError carries the first episode failure with its location.
 type campaignError struct {

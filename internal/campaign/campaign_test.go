@@ -290,3 +290,54 @@ func TestCampaignRealInvariants(t *testing.T) {
 		t.Fatalf("ran %d episodes, want %d", rep.Stats.Episodes, n)
 	}
 }
+
+// TestCampaignWorkerCountByteParity tightens the determinism guarantee to
+// the serialized form consumers actually diff: the marshalled Stats of a
+// real-simulator campaign must be byte-identical at 1, 4, and 16 workers.
+// Sixteen workers exceed the shard scratch pool's steady population on
+// most CI machines, so this also shuffles arenas across goroutines.
+func TestCampaignWorkerCountByteParity(t *testing.T) {
+	n := 4_000
+	if raceEnabled || testing.Short() {
+		n = 800
+	}
+	cfg, agent := leftTurnFixture()
+	marshal := func(workers int) string {
+		rep, err := Run(Spec{Name: "byte-parity", Episodes: n, BaseSeed: 5, Workers: workers}, LeftTurn(cfg, agent))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(rep.Stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	s1 := marshal(1)
+	for _, w := range []int{4, 16} {
+		if sw := marshal(w); sw != s1 {
+			t.Fatalf("marshalled Stats differ between 1 and %d workers:\n1:  %s\n%d: %s", w, s1, w, sw)
+		}
+	}
+}
+
+// TestCampaignScratchPoolUnderRace exercises the shard-level scratch pool
+// with far more concurrent shards in flight than arenas initially exist,
+// so pooled arenas migrate between goroutines across shard boundaries.
+// Its assertion is the race detector itself (plus determinism at the
+// end); without -race it is still a useful smoke of the pool handoff.
+func TestCampaignScratchPoolUnderRace(t *testing.T) {
+	cfg, agent := leftTurnFixture()
+	n := 640
+	run := func() Stats {
+		rep, err := Run(Spec{Name: "pool-race", Episodes: n, BaseSeed: 9, Workers: 16, Shards: 64}, LeftTurn(cfg, agent))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Stats
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated pooled campaigns diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -76,9 +76,43 @@ func loadCheckpoint(path string, fp Fingerprint) (map[int]*ShardStats, error) {
 		if err != nil || i < 0 || agg == nil {
 			return nil, fmt.Errorf("%w %s: bad shard key %q", ErrCorruptCheckpoint, path, k)
 		}
+		// Pre-rename checkpoints carry the fused-miss count only under the
+		// deprecated soundness_violations key; migrate it forward.  Either
+		// way the alias is re-pinned to the canonical counter.
+		if agg.FusedIntervalMisses == 0 && agg.SoundnessViolations != 0 {
+			agg.FusedIntervalMisses = agg.SoundnessViolations
+		}
+		agg.SoundnessViolations = agg.FusedIntervalMisses
 		out[i] = agg
 	}
 	return out, nil
+}
+
+// WriteFileAtomic writes data to path atomically: it writes a temporary
+// file in the same directory and renames it over the target, so readers
+// never observe a torn file and an interruption mid-write leaves the
+// previous contents intact.  It is the persistence primitive behind
+// campaign checkpoints, and cmd/bench routes its report/trace writes
+// through it too.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // saveCheckpoint atomically persists the completed shards: it writes a
@@ -97,22 +131,5 @@ func saveCheckpoint(path string, fp Fingerprint, done map[int]*ShardStats) error
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(append(raw, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return WriteFileAtomic(path, append(raw, '\n'))
 }

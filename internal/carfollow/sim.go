@@ -3,7 +3,6 @@ package carfollow
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -172,20 +171,22 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, e
 	if horizon == 0 {
 		horizon = DefaultHorizon
 	}
-	master := rand.New(rand.NewSource(seed))
-	driver, err := traffic.NewStopAndGo(cfg.Lead, rand.New(rand.NewSource(master.Int63())))
+	sh := opts.Scratch
+	sh.Begin()
+	master := sh.RNG(seed)
+	driver, err := sh.StopAndGo(cfg.Lead, sh.RNG(master.Int63()))
 	if err != nil {
 		return sim.Result{}, err
 	}
-	channel, err := comms.NewChannel(cfg.Comms, rand.New(rand.NewSource(master.Int63())))
+	channel, err := sh.Channel(cfg.Comms, sh.RNG(master.Int63()))
 	if err != nil {
 		return sim.Result{}, err
 	}
-	sens, err := sensor.New(cfg.Sensor, rand.New(rand.NewSource(master.Int63())))
+	sens, err := sh.Sensor(cfg.Sensor, sh.RNG(master.Int63()))
 	if err != nil {
 		return sim.Result{}, err
 	}
-	filt, err := fusion.New(fusion.Config{
+	filt, err := sh.Fusion(fusion.Config{
 		Limits:    cfg.Scenario.Lead,
 		Sensor:    cfg.Sensor,
 		UseKalman: cfg.InfoFilter,
@@ -194,12 +195,12 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, e
 	if err != nil {
 		return sim.Result{}, err
 	}
-	initRng := rand.New(rand.NewSource(master.Int63()))
+	initRng := sh.RNG(master.Int63())
 	// Disturbance streams derive last so legacy configurations keep their
 	// exact per-seed behaviour.
 	var sensProc disturb.SensorProcess
 	if cfg.SensorDisturb != nil {
-		sensProc = cfg.SensorDisturb.NewSensor(rand.New(rand.NewSource(master.Int63())))
+		sensProc = cfg.SensorDisturb.NewSensor(sh.RNG(master.Int63()))
 	}
 	// Planner-fault streams derive after the disturbance streams, under the
 	// same compatibility rule.
@@ -220,24 +221,44 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, e
 	}
 	filt.InitExact(0, lead, 0)
 
-	msgTick := comms.NewTicker(cfg.DtM)
+	msgTick := comms.MakeTicker(cfg.DtM)
 	msgTick.Due(0)
-	sensTick := comms.NewTicker(cfg.DtS)
+	sensTick := comms.MakeTicker(cfg.DtS)
 	sensTick.Due(0)
 
 	var leadA float64
-	var lastMeas *sensor.Reading
+	var lastMeas sensor.Reading
+	var haveMeas bool
+	msgBuf := sh.MsgBuf()
 	coll := opts.Collector
 	defer sim.ReportOutcome(coll, seed, &res)
+
+	// Per-episode closures (see sim.Run): built once, reading the loop
+	// variables through shared captures.
+	var t float64
+	var k Knowledge
+	plan := func() (float64, bool) { return agent.Accel(t, ego, k) }
+	emerg := func() float64 { return sc.EmergencyAccel(ego) }
+	// Car following has no committed regime: outside the unsafe and
+	// boundary sets any admissible command is one-step safe, so the
+	// envelope is the full actuation range there and κ_e-only inside them.
+	env := func() (float64, float64, bool) {
+		if sc.InUnsafeSet(ego, k.Sound) || sc.InBoundarySafeSet(ego, k.Sound) {
+			return 0, 0, false
+		}
+		return sc.Ego.AMin, sc.Ego.AMax, true
+	}
+
 	dt := sc.DtC
 	maxSteps := int(horizon/dt) + 1
 	for step := 0; step < maxSteps; step++ {
-		t := float64(step) * dt
+		t = float64(step) * dt
 
 		if at, ok := msgTick.Due(t); ok {
 			channel.Send(comms.Message{Sender: 1, T: at, P: lead.P, V: lead.V, A: leadA})
 		}
-		for _, m := range channel.Poll(t) {
+		msgBuf = channel.PollAppend(t, msgBuf[:0])
+		for _, m := range msgBuf {
 			filt.OnMessage(m)
 		}
 		if at, ok := sensTick.Due(t); ok {
@@ -249,17 +270,20 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, e
 				bias = d.Bias
 			}
 			if !drop {
-				r := sens.MeasureBiased(1, at, lead, leadA, bias)
-				lastMeas = &r
-				filt.OnReading(r)
+				lastMeas = sens.MeasureBiased(1, at, lead, leadA, bias)
+				haveMeas = true
+				filt.OnReading(lastMeas)
 			}
 		}
 
 		est := filt.EstimateAt(t)
 		if !est.P.Contains(lead.P) || !est.V.Contains(lead.V) {
-			res.SoundnessViolations++
+			res.FusedIntervalMisses++
 		}
-		k := Knowledge{
+		if !est.SoundP.Contains(lead.P) || !est.SoundV.Contains(lead.V) {
+			res.SoundViolations++
+		}
+		k = Knowledge{
 			Sound: LeadEstimate{P: est.SoundP, V: est.SoundV,
 				PointP: est.PointP, PointV: est.PointV, A: est.A},
 			Fused: LeadEstimate{P: est.P, V: est.V,
@@ -268,23 +292,12 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, e
 		var a0 float64
 		var emergency bool
 		var gres guard.StepResult
-		plan := func() (float64, bool) { return agent.Accel(t, ego, k) }
 		var start time.Time
 		if coll != nil {
 			start = time.Now()
 		}
 		if gs != nil {
-			// Car following has no committed regime: outside the unsafe
-			// and boundary sets any admissible command is one-step safe,
-			// so the envelope is the full actuation range there and
-			// κ_e-only inside them.
-			env := func() (float64, float64, bool) {
-				if sc.InUnsafeSet(ego, k.Sound) || sc.InBoundarySafeSet(ego, k.Sound) {
-					return 0, 0, false
-				}
-				return sc.Ego.AMin, sc.Ego.AMax, true
-			}
-			a0, emergency, gres = gs.Step(t, plan, func() float64 { return sc.EmergencyAccel(ego) }, env)
+			a0, emergency, gres = gs.Step(t, plan, emerg, env)
 		} else {
 			a0, emergency = plan()
 		}
@@ -335,7 +348,7 @@ func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, e
 				AggrLo: math.NaN(), AggrHi: math.NaN(),
 				Emergency: emergency,
 			}
-			if lastMeas != nil {
+			if haveMeas {
 				s.MeasP, s.MeasV = lastMeas.P, lastMeas.V
 			}
 			res.Trace = append(res.Trace, s)
@@ -381,8 +394,9 @@ func RunCampaign(cfg SimConfig, agent Agent, n int, o sim.CampaignOptions) ([]si
 	results := make([]sim.Result, n)
 	errs := make([]error, n)
 	var done atomic.Int64
-	sim.ParallelForWorkers(o.Workers, n, func(i int) {
-		results[i], errs[i] = RunEpisode(cfg, agent, sim.Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector})
+	scratches := sim.NewWorkerScratches(o.Workers, n)
+	sim.ParallelForWorkersScoped(o.Workers, n, func(w, i int) {
+		results[i], errs[i] = RunEpisode(cfg, agent, sim.Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector, Scratch: scratches[w]})
 		if o.Collector != nil {
 			o.Collector.OnProgress(done.Add(1), int64(n))
 		}

@@ -46,8 +46,11 @@ func TestRunConservativeSafe(t *testing.T) {
 	if !r.Reached {
 		t.Fatalf("episode timed out: %+v", r)
 	}
-	if r.SoundnessViolations != 0 {
-		t.Fatalf("sound estimate missed the lead %d times", r.SoundnessViolations)
+	if r.FusedIntervalMisses != 0 {
+		t.Fatalf("fused estimate missed the lead %d times", r.FusedIntervalMisses)
+	}
+	if r.SoundViolations != 0 {
+		t.Fatalf("sound estimate missed the lead %d times", r.SoundViolations)
 	}
 }
 

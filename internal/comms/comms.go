@@ -97,6 +97,7 @@ type Channel struct {
 	cfg   Config
 	proc  disturb.Process // nil for the legacy Delay/DropProb pair
 	drop  *rand.Rand      // loss decisions only
+	delay *rand.Rand      // latency draws only
 	queue []pending
 
 	sent, dropped, delivered, replayed int
@@ -108,19 +109,39 @@ type Channel struct {
 // (p_d, burst dwell) never perturbs the delays of unrelated messages in a
 // seed-paired A/B comparison.
 func NewChannel(cfg Config, rng *rand.Rand) (*Channel, error) {
-	if err := cfg.Validate(); err != nil {
+	ch := &Channel{}
+	if err := ch.Reset(cfg, rng); err != nil {
 		return nil, err
 	}
-	if rng == nil {
-		return nil, fmt.Errorf("comms: nil rng")
-	}
-	dropRng := rand.New(rand.NewSource(rng.Int63()))
-	delayRng := rand.New(rand.NewSource(rng.Int63()))
-	ch := &Channel{cfg: cfg, drop: dropRng}
-	if cfg.Model != nil {
-		ch.proc = cfg.Model.New(dropRng, delayRng)
-	}
 	return ch, nil
+}
+
+// Reset re-initialises the channel in place for a new episode, reusing the
+// queue backing array and the two derived rand streams.  It draws from rng
+// in exactly the order NewChannel does (drop seed, then delay seed), so a
+// reset channel is bit-identical to a freshly constructed one.
+func (c *Channel) Reset(cfg Config, rng *rand.Rand) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if rng == nil {
+		return fmt.Errorf("comms: nil rng")
+	}
+	if c.drop == nil {
+		c.drop = rand.New(rand.NewSource(rng.Int63()))
+		c.delay = rand.New(rand.NewSource(rng.Int63()))
+	} else {
+		c.drop.Seed(rng.Int63())
+		c.delay.Seed(rng.Int63())
+	}
+	c.cfg = cfg
+	c.proc = nil
+	if cfg.Model != nil {
+		c.proc = cfg.Model.New(c.drop, c.delay)
+	}
+	c.queue = c.queue[:0]
+	c.sent, c.dropped, c.delivered, c.replayed = 0, 0, 0, 0
+	return nil
 }
 
 // Send offers a message to the channel at its timestamp m.T.  Depending on
@@ -166,21 +187,29 @@ func (c *Channel) enqueue(at float64, m Message) {
 }
 
 // Poll returns, in delivery order, every message whose delivery time is
-// ≤ now, removing them from the queue.
+// ≤ now, removing them from the queue.  It allocates a fresh slice per
+// call; hot paths should hold a scratch buffer and use PollAppend.
 func (c *Channel) Poll(now float64) []Message {
-	var out []Message
+	return c.PollAppend(now, nil)
+}
+
+// PollAppend is the allocation-free form of Poll: due messages are appended
+// to buf (which may be nil or a reused scratch slice) and the extended
+// slice is returned.  Delivery order and side effects are identical to
+// Poll.
+func (c *Channel) PollAppend(now float64, buf []Message) []Message {
 	i := 0
 	for ; i < len(c.queue); i++ {
 		if c.queue[i].deliverAt > now {
 			break
 		}
-		out = append(out, c.queue[i].msg)
+		buf = append(buf, c.queue[i].msg)
 	}
 	if i > 0 {
 		c.queue = append(c.queue[:0], c.queue[i:]...)
-		c.delivered += len(out)
+		c.delivered += i
 	}
-	return out
+	return buf
 }
 
 // Pending returns how many messages are in flight.
@@ -207,6 +236,12 @@ type Ticker struct {
 // non-positive period yields a ticker that never fires.
 func NewTicker(period float64) *Ticker {
 	return &Ticker{period: period}
+}
+
+// MakeTicker is the by-value form of NewTicker; episode step loops keep it
+// on the stack instead of heap-allocating a fresh ticker per episode.
+func MakeTicker(period float64) Ticker {
+	return Ticker{period: period}
 }
 
 // Due reports whether a tick time ≤ now is pending and, if so, consumes it

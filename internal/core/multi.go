@@ -56,11 +56,17 @@ func (p *MultiPure) Name() string { return "pure-multi:" + p.Planner.Name() }
 
 // Accel implements MultiAgent.
 func (p *MultiPure) Accel(t float64, ego dynamics.State, ks []Knowledge) (float64, bool) {
-	ws := make([]interval.Interval, len(ks))
-	for i, k := range ks {
-		ws[i] = p.Cfg.ConservativeWindow(k.Fused)
+	// Single-pass reduction (no window slice): agents are shared across
+	// campaign workers, so they stay stateless AND allocation-free.
+	best := interval.Empty()
+	bestLo := math.Inf(1)
+	for _, k := range ks {
+		w := p.Cfg.ConservativeWindow(k.Fused)
+		if !w.IsEmpty() && w.Lo < bestLo {
+			best, bestLo = w, w.Lo
+		}
 	}
-	return p.Planner.Accel(t, ego, MostConstrainingWindow(ws)), false
+	return p.Planner.Accel(t, ego, best), false
 }
 
 // MultiCompound is the compound planner generalized to several oncoming
@@ -153,15 +159,24 @@ func (c *MultiCompound) Accel(t float64, ego dynamics.State, ks []Knowledge) (fl
 	}
 	c.decide(telemetry.ReasonPlanner)
 
-	ws := make([]interval.Interval, len(ks))
-	for i, k := range ks {
+	// Single-pass MostConstrainingWindow reduction: equivalent to building
+	// the per-vehicle window slice and reducing it, without the per-step
+	// allocation (the agent is shared across workers, so it cannot carry
+	// mutable scratch).
+	best := interval.Empty()
+	bestLo := math.Inf(1)
+	for _, k := range ks {
+		var w interval.Interval
 		if c.AggressiveSet {
-			ws[i] = c.Cfg.AggressiveWindow(k.Fused)
+			w = c.Cfg.AggressiveWindow(k.Fused)
 		} else {
-			ws[i] = c.Cfg.ConservativeWindow(k.Fused)
+			w = c.Cfg.ConservativeWindow(k.Fused)
+		}
+		if !w.IsEmpty() && w.Lo < bestLo {
+			best, bestLo = w, w.Lo
 		}
 	}
-	a := c.Planner.Accel(t, ego, MostConstrainingWindow(ws))
+	a := c.Planner.Accel(t, ego, best)
 	if hasFloor && a < floor {
 		a = floor
 	}

@@ -81,9 +81,13 @@ func TestAdversarialSafetyInvariant(t *testing.T) {
 						t.Fatalf("episode %d (seed %d): basic collision under %s",
 							i, testSeed+int64(i), s.Name)
 					}
-					if r.SoundnessViolations > 0 {
+					if r.FusedIntervalMisses > 0 {
+						t.Fatalf("episode %d: %d fused-estimate misses under %s",
+							i, r.FusedIntervalMisses, s.Name)
+					}
+					if r.SoundViolations > 0 {
 						t.Fatalf("episode %d: %d sound-estimate violations under %s",
-							i, r.SoundnessViolations, s.Name)
+							i, r.SoundViolations, s.Name)
 					}
 				}
 			})

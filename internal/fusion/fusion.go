@@ -93,25 +93,46 @@ type Filter struct {
 
 // New creates a Filter.
 func New(cfg Config) (*Filter, error) {
+	f := &Filter{}
+	if err := f.ResetConfig(cfg); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ResetConfig reconfigures the filter in place and clears all fused state,
+// reusing the embedded Kalman filter's measurement history buffer.
+// Equivalent to replacing the filter with New(cfg).
+func (f *Filter) ResetConfig(cfg Config) error {
 	if err := cfg.Limits.Validate(); err != nil {
-		return nil, fmt.Errorf("fusion: %w", err)
+		return fmt.Errorf("fusion: %w", err)
 	}
 	if err := cfg.Sensor.Validate(); err != nil {
-		return nil, fmt.Errorf("fusion: %w", err)
+		return fmt.Errorf("fusion: %w", err)
 	}
 	sigma := cfg.SigmaK
 	if sigma <= 0 {
 		sigma = DefaultSigmaK
 	}
-	f := &Filter{cfg: cfg, sigmaK: sigma}
+	f.cfg = cfg
+	f.sigmaK = sigma
+	f.haveMsg = false
+	f.haveReading = false
 	if cfg.UseKalman {
-		f.kf = kalman.New(kalman.Config{
+		kcfg := kalman.Config{
 			DeltaP: cfg.Sensor.DeltaP,
 			DeltaV: cfg.Sensor.DeltaV,
 			DeltaA: cfg.Sensor.DeltaA,
-		})
+		}
+		if f.kf == nil {
+			f.kf = kalman.New(kcfg)
+		} else {
+			f.kf.ResetConfig(kcfg)
+		}
+	} else {
+		f.kf = nil
 	}
-	return f, nil
+	return nil
 }
 
 // Reset returns the filter to its initial, information-free state.

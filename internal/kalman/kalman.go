@@ -65,6 +65,9 @@ func New(cfg Config) *Filter {
 	return &Filter{
 		cfg: cfg,
 		r:   mat.Diag2(cfg.DeltaP*cfg.DeltaP/3, cfg.DeltaV*cfg.DeltaV/3),
+		// push appends one record before compacting, so HistoryLen+1
+		// capacity means the history never reallocates.
+		hist: make([]record, 0, cfg.HistoryLen+1),
 	}
 }
 
@@ -90,6 +93,21 @@ func (f *Filter) processNoise(dt float64) mat.Mat2 {
 		C: 0.5 * dt2 * dt * va,
 		D: dt2 * va,
 	}
+}
+
+// ResetConfig reconfigures the filter in place and clears all state,
+// reusing the history backing array when it is large enough.  Equivalent to
+// replacing the filter with New(cfg).
+func (f *Filter) ResetConfig(cfg Config) {
+	if cfg.HistoryLen <= 0 {
+		cfg.HistoryLen = DefaultHistoryLen
+	}
+	f.cfg = cfg
+	f.r = mat.Diag2(cfg.DeltaP*cfg.DeltaP/3, cfg.DeltaV*cfg.DeltaV/3)
+	if cap(f.hist) < cfg.HistoryLen+1 {
+		f.hist = make([]record, 0, cfg.HistoryLen+1)
+	}
+	f.Reset()
 }
 
 // Reset clears all state, returning the filter to the uninitialized state.
@@ -171,20 +189,17 @@ func (f *Filter) step(t float64, z mat.Vec2, za float64) {
 // replays every retained measurement newer than tk, which propagates the
 // exact information to the present.
 func (f *Filter) ApplyMessage(tk float64, p, v, a float64) {
-	// Collect measurements to replay before resetting.
-	var replay []record
-	for _, rec := range f.hist {
-		if rec.t > tk {
-			replay = append(replay, rec)
-		}
-	}
 	f.initialized = true
 	f.tf = tk
 	f.xf = mat.Vec2{X: p, Y: v}
 	f.pf = mat.Diag2(1e-12, 1e-12)
 	f.lastA = a
-	for _, rec := range replay {
-		f.step(rec.t, rec.z, rec.a)
+	// Replay retained measurements newer than tk directly from the
+	// history: step never mutates hist, so no scratch copy is needed.
+	for _, rec := range f.hist {
+		if rec.t > tk {
+			f.step(rec.t, rec.z, rec.a)
+		}
 	}
 	// History keeps all records (they may be replayed again by an even
 	// older message only if it arrives out of order, which we ignore:

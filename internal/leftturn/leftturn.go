@@ -423,14 +423,25 @@ func (c Config) Collision(ego, oncoming dynamics.State) bool {
 // +Inf window edges (no conflict possible) saturate here.
 const FeatureTimeCap = 60
 
+// FeatureCount is the width of the NN planner input vector.
+const FeatureCount = 5
+
 // Features assembles the paper's 5-dimensional NN planner input
 // (t, p0, v0, τ1,min, τ1,max).  An empty window is encoded as a window that
 // starts and ends at the cap, i.e. "conflict infinitely far away".
 func Features(t float64, ego dynamics.State, oncoming interval.Interval) []float64 {
+	dst := make([]float64, FeatureCount)
+	FeaturesInto(dst, t, ego, oncoming)
+	return dst
+}
+
+// FeaturesInto writes the feature vector into dst (length ≥ FeatureCount)
+// without allocating; hot paths reuse one scratch buffer across calls.
+func FeaturesInto(dst []float64, t float64, ego dynamics.State, oncoming interval.Interval) {
 	tMin, tMax := float64(FeatureTimeCap), float64(FeatureTimeCap)
 	if !oncoming.IsEmpty() {
 		tMin = math.Min(oncoming.Lo, FeatureTimeCap)
 		tMax = math.Min(oncoming.Hi, FeatureTimeCap)
 	}
-	return []float64{t, ego.P, ego.V, tMin, tMax}
+	dst[0], dst[1], dst[2], dst[3], dst[4] = t, ego.P, ego.V, tMin, tMax
 }

@@ -10,6 +10,8 @@ import (
 // Network is a feed-forward multilayer perceptron for regression.
 type Network struct {
 	Layers []*Dense
+
+	in1 *mat.Dense // Predict1 input scratch, lazily sized to 1×InputDim
 }
 
 // NewMLP builds a network with the given layer sizes, e.g.
@@ -60,13 +62,22 @@ func (n *Network) Predict(in []float64) []float64 {
 	return res
 }
 
-// Predict1 evaluates a single-output network on one input vector.
+// Predict1 evaluates a single-output network on one input vector.  Unlike
+// Predict it reuses network-owned scratch (the layer activations plus a
+// cached 1-row input matrix), so steady-state calls do not allocate.  Like
+// ForwardBatch it is not safe for concurrent use.
 func (n *Network) Predict1(in []float64) float64 {
-	out := n.Predict(in)
-	if len(out) != 1 {
+	if len(in) != n.InputDim() {
+		panic(fmt.Sprintf("nn: Predict1 expects %d inputs, got %d", n.InputDim(), len(in)))
+	}
+	if n.OutputDim() != 1 {
 		panic("nn: Predict1 on multi-output network")
 	}
-	return out[0]
+	if n.in1 == nil || n.in1.Cols() != len(in) {
+		n.in1 = mat.NewDense(1, len(in))
+	}
+	copy(n.in1.Row(0), in)
+	return n.ForwardBatch(n.in1).Row(0)[0]
 }
 
 // MSE computes the mean-squared error of predictions pred against targets y

@@ -18,6 +18,8 @@ type NNPlanner struct {
 	Net    *nn.Network
 	Norm   *nn.Normalizer  // input standardization baked in at training time
 	Limits dynamics.Limits // ego envelope for output clamping
+
+	feats [leftturn.FeatureCount]float64 // per-call feature scratch
 }
 
 // Name implements Planner.
@@ -25,7 +27,8 @@ func (p *NNPlanner) Name() string { return p.Label }
 
 // Accel implements Planner.
 func (p *NNPlanner) Accel(t float64, ego dynamics.State, oncoming interval.Interval) float64 {
-	feats := leftturn.Features(t, ego, oncoming)
+	feats := p.feats[:]
+	leftturn.FeaturesInto(feats, t, ego, oncoming)
 	if p.Norm != nil {
 		p.Norm.Apply(feats)
 	}

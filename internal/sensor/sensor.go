@@ -61,13 +61,25 @@ type Model struct {
 
 // New creates a sensor model drawing noise from rng.
 func New(cfg Config, rng *rand.Rand) (*Model, error) {
-	if err := cfg.Validate(); err != nil {
+	m := &Model{}
+	if err := m.Reset(cfg, rng); err != nil {
 		return nil, err
 	}
-	if rng == nil {
-		return nil, fmt.Errorf("sensor: nil rng")
+	return m, nil
+}
+
+// Reset re-initialises the model in place for a new episode; behaviour is
+// identical to a freshly constructed Model.
+func (m *Model) Reset(cfg Config, rng *rand.Rand) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	return &Model{cfg: cfg, rng: rng}, nil
+	if rng == nil {
+		return fmt.Errorf("sensor: nil rng")
+	}
+	m.cfg = cfg
+	m.rng = rng
+	return nil
 }
 
 // Config returns the model's noise configuration.

@@ -53,8 +53,9 @@ func RunCampaign(cfg Config, agent core.Agent, n int, o CampaignOptions) ([]Resu
 	results := make([]Result, n)
 	errs := make([]error, n)
 	var done atomic.Int64
-	ParallelForWorkers(o.Workers, n, func(i int) {
-		results[i], errs[i] = Run(cfg, agent, Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector})
+	scratches := NewWorkerScratches(o.Workers, n)
+	ParallelForWorkersScoped(o.Workers, n, func(w, i int) {
+		results[i], errs[i] = Run(cfg, agent, Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector, Scratch: scratches[w]})
 		if o.Collector != nil {
 			o.Collector.OnProgress(done.Add(1), int64(n))
 		}
@@ -80,22 +81,50 @@ func RunMany(cfg Config, agent core.Agent, n int, baseSeed int64) ([]Result, err
 // goroutines (0 selects GOMAXPROCS) and waits for completion.  f must
 // only write to index-disjoint state.
 func ParallelForWorkers(workers, n int, f func(i int)) {
+	ParallelForWorkersScoped(workers, n, func(_, i int) { f(i) })
+}
+
+// ResolveWorkers applies the shared worker-count convention: 0 selects
+// GOMAXPROCS, and the count never exceeds the task count.
+func ResolveWorkers(workers, n int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	return workers
+}
+
+// NewWorkerScratches builds one episode arena per effective worker under
+// the ResolveWorkers convention, for campaign runners that index them by
+// the worker argument of ParallelForWorkersScoped.  Reusing an arena
+// across a worker's episodes cannot perturb results — episodes are
+// seed-deterministic with or without a scratch (the parity tests assert
+// bit identity).
+func NewWorkerScratches(workers, n int) []*Scratch {
+	out := make([]*Scratch, ResolveWorkers(workers, n))
+	for i := range out {
+		out[i] = NewScratch()
+	}
+	return out
+}
+
+// ParallelForWorkersScoped is ParallelForWorkers with the worker index
+// (0 … effective workers−1) passed alongside the task index, so callers
+// can keep per-worker scratch state without locking.
+func ParallelForWorkersScoped(workers, n int, f func(worker, i int)) {
+	workers = ResolveWorkers(workers, n)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				f(i)
+				f(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -95,27 +94,30 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result,
 	if horizon == 0 {
 		horizon = DefaultHorizon
 	}
-	master := rand.New(rand.NewSource(opts.Seed))
-	initRng := rand.New(rand.NewSource(master.Int63()))
-	sensDropRng := rand.New(rand.NewSource(master.Int63()))
+	sh := opts.Scratch
+	sh.Begin()
+	master := sh.RNG(opts.Seed)
+	initRng := sh.RNG(master.Int63())
+	sensDropRng := sh.RNG(master.Int63())
 
 	sc := cfg.Scenario
-	tracks := make([]*oncomingTrack, cfg.Vehicles)
+	tracks := sh.trackSlice(cfg.Vehicles)
 	offset := 0.0
 	for i := range tracks {
-		driver, err := traffic.NewDriver(cfg.Driver, rand.New(rand.NewSource(master.Int63())))
+		tr := &tracks[i]
+		driver, err := sh.Driver(cfg.Driver, sh.RNG(master.Int63()))
 		if err != nil {
 			return Result{}, err
 		}
-		channel, err := comms.NewChannel(cfg.Comms, rand.New(rand.NewSource(master.Int63())))
+		channel, err := sh.Channel(cfg.Comms, sh.RNG(master.Int63()))
 		if err != nil {
 			return Result{}, err
 		}
-		sens, err := sensor.New(cfg.Sensor, rand.New(rand.NewSource(master.Int63())))
+		sens, err := sh.Sensor(cfg.Sensor, sh.RNG(master.Int63()))
 		if err != nil {
 			return Result{}, err
 		}
-		filt, err := fusion.New(fusion.Config{
+		filt, err := sh.Fusion(fusion.Config{
 			Limits:    sc.Oncoming,
 			Sensor:    cfg.Sensor,
 			UseKalman: cfg.InfoFilter,
@@ -134,13 +136,13 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result,
 		s.P -= offset
 		offset += cfg.SpacingDist + initRng.Float64()*cfg.SpacingJitter
 		filt.InitExact(0, s, 0)
-		tracks[i] = &oncomingTrack{state: s, driver: driver, channel: channel, sensor: sens, filter: filt}
+		*tr = oncomingTrack{state: s, driver: driver, channel: channel, sensor: sens, filter: filt}
 	}
 	// Sensor disturbance streams derive after every track's legacy streams
 	// so existing configurations keep their exact per-seed behaviour.
 	if cfg.SensorDisturb != nil {
-		for _, tr := range tracks {
-			tr.sensProc = cfg.SensorDisturb.NewSensor(rand.New(rand.NewSource(master.Int63())))
+		for i := range tracks {
+			tracks[i].sensProc = cfg.SensorDisturb.NewSensor(sh.RNG(master.Int63()))
 		}
 	}
 	// Planner-fault streams derive last, under the same compatibility rule.
@@ -155,27 +157,60 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result,
 	mon := monitor.New(sc)
 
 	ego := sc.EgoInit
-	msgTick := comms.NewTicker(cfg.DtM)
+	msgTick := comms.MakeTicker(cfg.DtM)
 	msgTick.Due(0)
-	sensTick := comms.NewTicker(cfg.DtS)
+	sensTick := comms.MakeTicker(cfg.DtS)
 	sensTick.Due(0)
 
 	coll := opts.Collector
 	defer ReportOutcome(coll, opts.Seed, &res)
 	dt := sc.DtC
 	maxSteps := int(horizon/dt) + 1
-	ks := make([]core.Knowledge, len(tracks))
-	ests := make([]fusion.Estimate, len(tracks))
+	ks, ests := sh.knowledgeSlices(len(tracks))
+	msgBuf := sh.MsgBuf()
+
+	// Per-episode closures (see Run): built once, reading the loop
+	// variables through shared captures.
+	var t float64
+	plan := func() (float64, bool) { return agent.Accel(t, ego, ks) }
+	emerg := func() float64 { return sc.EmergencyAccel(ego) }
+	// Per-track envelopes intersect: the ego must satisfy every vehicle's
+	// commitment guard at once, exactly as the multi-vehicle compound
+	// resolves them (an empty intersection or any emergency verdict admits
+	// only κ_e).
+	env := func() (float64, float64, bool) {
+		lo, hi := sc.Ego.AMin, sc.Ego.AMax
+		for _, k := range ks {
+			o := mon.Assess(ego, sc.ConservativeWindow(k.Sound))
+			if o.Emergency {
+				return 0, 0, false
+			}
+			tlo, thi, ok := o.Envelope(sc.Ego)
+			if !ok {
+				return 0, 0, false
+			}
+			if tlo > lo {
+				lo = tlo
+			}
+			if thi < hi {
+				hi = thi
+			}
+		}
+		return lo, hi, lo <= hi
+	}
+
 	for step := 0; step < maxSteps; step++ {
-		t := float64(step) * dt
+		t = float64(step) * dt
 
 		msgAt, msgDue := msgTick.Due(t)
 		sensAt, sensDue := sensTick.Due(t)
-		for i, tr := range tracks {
+		for i := range tracks {
+			tr := &tracks[i]
 			if msgDue {
 				tr.channel.Send(comms.Message{Sender: i + 1, T: msgAt, P: tr.state.P, V: tr.state.V, A: tr.accel})
 			}
-			for _, m := range tr.channel.Poll(t) {
+			msgBuf = tr.channel.PollAppend(t, msgBuf[:0])
+			for _, m := range msgBuf {
 				tr.filter.OnMessage(m)
 			}
 			if sensDue {
@@ -193,7 +228,10 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result,
 			est := tr.filter.EstimateAt(t)
 			ests[i] = est
 			if !est.P.Contains(tr.state.P) || !est.V.Contains(tr.state.V) {
-				res.SoundnessViolations++
+				res.FusedIntervalMisses++
+			}
+			if !est.SoundP.Contains(tr.state.P) || !est.SoundV.Contains(tr.state.V) {
+				res.SoundViolations++
 			}
 			ks[i] = core.Knowledge{
 				Sound: leftturn.OncomingEstimate{
@@ -210,37 +248,12 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result,
 		var a0 float64
 		var emergency bool
 		var gres guard.StepResult
-		plan := func() (float64, bool) { return agent.Accel(t, ego, ks) }
 		var start time.Time
 		if coll != nil {
 			start = time.Now()
 		}
 		if gs != nil {
-			// Per-track envelopes intersect: the ego must satisfy every
-			// vehicle's commitment guard at once, exactly as the
-			// multi-vehicle compound resolves them (an empty intersection
-			// or any emergency verdict admits only κ_e).
-			env := func() (float64, float64, bool) {
-				lo, hi := sc.Ego.AMin, sc.Ego.AMax
-				for _, k := range ks {
-					o := mon.Assess(ego, sc.ConservativeWindow(k.Sound))
-					if o.Emergency {
-						return 0, 0, false
-					}
-					tlo, thi, ok := o.Envelope(sc.Ego)
-					if !ok {
-						return 0, 0, false
-					}
-					if tlo > lo {
-						lo = tlo
-					}
-					if thi < hi {
-						hi = thi
-					}
-				}
-				return lo, hi, lo <= hi
-			}
-			a0, emergency, gres = gs.Step(t, plan, func() float64 { return sc.EmergencyAccel(ego) }, env)
+			a0, emergency, gres = gs.Step(t, plan, emerg, env)
 		} else {
 			a0, emergency = plan()
 		}
@@ -254,7 +267,8 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result,
 			res.EmergencySteps++
 		}
 		if len(opts.Invariants) > 0 {
-			for i, tr := range tracks {
+			for i := range tracks {
+				tr := &tracks[i]
 				si := StepInfo{
 					T: t, Vehicle: i, Ego: ego, Other: tr.state, OtherA: tr.accel,
 					Est: ests[i], Accel: a0, Emergency: emergency,
@@ -269,7 +283,8 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result,
 		}
 
 		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)
-		for _, tr := range tracks {
+		for i := range tracks {
+			tr := &tracks[i]
 			var ba float64
 			if len(cfg.OncomingScript) > 0 {
 				ba = ScriptAccel(cfg.OncomingScript, step)
@@ -280,8 +295,8 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result,
 		}
 		res.Steps++
 
-		for _, tr := range tracks {
-			if sc.Collision(ego, tr.state) {
+		for i := range tracks {
+			if sc.Collision(ego, tracks[i].state) {
 				res.Collided = true
 				res.Eta = -1
 				return res, nil
@@ -335,8 +350,9 @@ func RunMultiCampaign(cfg MultiConfig, agent core.MultiAgent, n int, o CampaignO
 	results := make([]Result, n)
 	errs := make([]error, n)
 	var done atomic.Int64
-	ParallelForWorkers(o.Workers, n, func(i int) {
-		results[i], errs[i] = RunMulti(cfg, agent, Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector})
+	scratches := NewWorkerScratches(o.Workers, n)
+	ParallelForWorkersScoped(o.Workers, n, func(w, i int) {
+		results[i], errs[i] = RunMulti(cfg, agent, Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector, Scratch: scratches[w]})
 		if o.Collector != nil {
 			o.Collector.OnProgress(done.Add(1), int64(n))
 		}

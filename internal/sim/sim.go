@@ -8,7 +8,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"safeplan/internal/comms"
@@ -225,10 +224,20 @@ type Result struct {
 	Steps          int
 	EmergencySteps int
 
-	// SoundnessViolations counts steps where the fused interval failed to
-	// contain the true oncoming state (diagnostic; expected 0 without the
-	// Kalman component and near 0 with it).
-	SoundnessViolations int
+	// FusedIntervalMisses counts steps where the fused interval failed to
+	// contain the true oncoming state.  The fused pair is deliberately
+	// non-guaranteed — the Kalman component trades containment for width —
+	// so misses are expected sharpening error, not a safety defect
+	// (diagnostic; 0 without the Kalman component, near 0 with it).
+	// Previously (mis)named SoundnessViolations.
+	FusedIntervalMisses int
+
+	// SoundViolations counts steps where the *sound* interval pair
+	// (Estimate.SoundP/SoundV) failed to contain the true state — the same
+	// predicate as the SoundEstimate invariant.  A nonzero count is a
+	// genuine soundness-contract violation and must be 0 in every
+	// configuration.
+	SoundViolations int
 
 	// Guard aggregates the planner-fault guard's activity for the episode.
 	// All-zero (with WorstState/FinalState Nominal) when no guard is
@@ -263,6 +272,14 @@ type Options struct {
 	// aborts the episode with a *ViolationError.  Checkers must be
 	// stateless: campaign runners share them across workers.
 	Invariants []Invariant
+
+	// Scratch, when non-nil, is the episode-scoped arena the runner draws
+	// per-episode objects (rand streams, channel, sensor, driver, fusion
+	// filter, Poll buffer) from instead of allocating them fresh.  The
+	// episode is bit-identical with and without it.  A Scratch serves one
+	// episode at a time: campaign workers keep one per shard and must not
+	// share it between concurrently running episodes.
+	Scratch *Scratch
 }
 
 // ReportOutcome forwards a finished episode to the collector (a no-op on
@@ -280,7 +297,8 @@ func ReportOutcome(c telemetry.Collector, seed int64, r *Result) {
 		ReachTime:           r.ReachTime,
 		Steps:               r.Steps,
 		EmergencySteps:      r.EmergencySteps,
-		SoundnessViolations: r.SoundnessViolations,
+		FusedIntervalMisses: r.FusedIntervalMisses,
+		SoundViolations:     r.SoundViolations,
 	})
 }
 
@@ -300,18 +318,20 @@ func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
 	if horizon == 0 {
 		horizon = DefaultHorizon
 	}
-	master := rand.New(rand.NewSource(opts.Seed))
+	sh := opts.Scratch
+	sh.Begin()
+	master := sh.RNG(opts.Seed)
 	// Independent streams, seeded deterministically from the master.
-	driverRng := rand.New(rand.NewSource(master.Int63()))
-	chanRng := rand.New(rand.NewSource(master.Int63()))
-	sensRng := rand.New(rand.NewSource(master.Int63()))
-	initRng := rand.New(rand.NewSource(master.Int63()))
-	sensDropRng := rand.New(rand.NewSource(master.Int63()))
+	driverRng := sh.RNG(master.Int63())
+	chanRng := sh.RNG(master.Int63())
+	sensRng := sh.RNG(master.Int63())
+	initRng := sh.RNG(master.Int63())
+	sensDropRng := sh.RNG(master.Int63())
 	// Disturbance streams derive last so legacy configurations keep their
 	// exact per-seed behaviour.
 	var sensProc disturb.SensorProcess
 	if cfg.SensorDisturb != nil {
-		sensProc = cfg.SensorDisturb.NewSensor(rand.New(rand.NewSource(master.Int63())))
+		sensProc = cfg.SensorDisturb.NewSensor(sh.RNG(master.Int63()))
 	}
 	// Planner-fault streams derive after the disturbance streams, under the
 	// same compatibility rule.
@@ -328,19 +348,19 @@ func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
 	// monitor ablation).
 	mon := monitor.New(cfg.Scenario)
 
-	driver, err := traffic.NewDriver(cfg.Driver, driverRng)
+	driver, err := sh.Driver(cfg.Driver, driverRng)
 	if err != nil {
 		return Result{}, err
 	}
-	channel, err := comms.NewChannel(cfg.Comms, chanRng)
+	channel, err := sh.Channel(cfg.Comms, chanRng)
 	if err != nil {
 		return Result{}, err
 	}
-	sens, err := sensor.New(cfg.Sensor, sensRng)
+	sens, err := sh.Sensor(cfg.Sensor, sensRng)
 	if err != nil {
 		return Result{}, err
 	}
-	filt, err := fusion.New(fusion.Config{
+	filt, err := sh.Fusion(fusion.Config{
 		Limits:    cfg.Scenario.Oncoming,
 		Sensor:    cfg.Sensor,
 		UseKalman: cfg.InfoFilter,
@@ -365,28 +385,42 @@ func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
 	// later knowledge flows through the disturbed channel and sensors).
 	filt.InitExact(0, onc, 0)
 
-	msgTick := comms.NewTicker(cfg.DtM)
+	msgTick := comms.MakeTicker(cfg.DtM)
 	msgTick.Due(0) // initial broadcast consumed by InitExact
-	sensTick := comms.NewTicker(cfg.DtS)
+	sensTick := comms.MakeTicker(cfg.DtS)
 	sensTick.Due(0)
 
 	var oncA float64
-	var lastMeas *sensor.Reading
+	var lastMeas sensor.Reading
+	var haveMeas bool
+	msgBuf := sh.MsgBuf()
 
 	coll := opts.Collector
 	defer ReportOutcome(coll, opts.Seed, &res)
 
+	// The planner/envelope closures are built once per episode, before the
+	// loop; they read the loop variables below through the shared captures,
+	// so the hot path allocates no per-step closures.
+	var t float64
+	var know core.Knowledge
+	plan := func() (float64, bool) { return agent.Accel(t, ego, know) }
+	emerg := func() float64 { return sc.EmergencyAccel(ego) }
+	env := func() (float64, float64, bool) {
+		return mon.Assess(ego, sc.ConservativeWindow(know.Sound)).Envelope(sc.Ego)
+	}
+
 	dt := sc.DtC
 	maxSteps := int(horizon/dt) + 1
 	for step := 0; step < maxSteps; step++ {
-		t := float64(step) * dt
+		t = float64(step) * dt
 
 		// 1. Periodic V2V broadcast of C1's current state.
 		if at, ok := msgTick.Due(t); ok {
 			channel.Send(comms.Message{Sender: 1, T: at, P: onc.P, V: onc.V, A: oncA})
 		}
 		// 2. Deliver whatever the channel releases at this instant.
-		for _, m := range channel.Poll(t) {
+		msgBuf = channel.PollAppend(t, msgBuf[:0])
+		for _, m := range msgBuf {
 			filt.OnMessage(m)
 		}
 		// 3. Periodic onboard sensing (subject to injected dropout and
@@ -400,18 +434,21 @@ func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
 				bias = d.Bias
 			}
 			if !drop {
-				r := sens.MeasureBiased(1, at, onc, oncA, bias)
-				lastMeas = &r
-				filt.OnReading(r)
+				lastMeas = sens.MeasureBiased(1, at, onc, oncA, bias)
+				haveMeas = true
+				filt.OnReading(lastMeas)
 			}
 		}
 
 		// 4. Fuse and plan.
 		est := filt.EstimateAt(t)
 		if !est.P.Contains(onc.P) || !est.V.Contains(onc.V) {
-			res.SoundnessViolations++
+			res.FusedIntervalMisses++
 		}
-		know := core.Knowledge{
+		if !est.SoundP.Contains(onc.P) || !est.SoundV.Contains(onc.V) {
+			res.SoundViolations++
+		}
+		know = core.Knowledge{
 			Sound: leftturn.OncomingEstimate{
 				P: est.SoundP, V: est.SoundV,
 				PointP: est.PointP, PointV: est.PointV,
@@ -426,16 +463,12 @@ func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
 		var a0 float64
 		var emergency bool
 		var gres guard.StepResult
-		plan := func() (float64, bool) { return agent.Accel(t, ego, know) }
 		var start time.Time
 		if coll != nil {
 			start = time.Now()
 		}
 		if gs != nil {
-			env := func() (float64, float64, bool) {
-				return mon.Assess(ego, sc.ConservativeWindow(know.Sound)).Envelope(sc.Ego)
-			}
-			a0, emergency, gres = gs.Step(t, plan, func() float64 { return sc.EmergencyAccel(ego) }, env)
+			a0, emergency, gres = gs.Step(t, plan, emerg, env)
 		} else {
 			a0, emergency = plan()
 		}
@@ -488,7 +521,7 @@ func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
 				SoundLo: soundW.Lo, SoundHi: soundW.Hi,
 				Emergency: emergency,
 			}
-			if lastMeas != nil {
+			if haveMeas {
 				s.MeasP, s.MeasV = lastMeas.P, lastMeas.V
 			}
 			res.Trace = append(res.Trace, s)

@@ -52,8 +52,11 @@ func TestRunConservativeReachesSafely(t *testing.T) {
 	if r.Eta <= 0 || math.Abs(r.Eta-1/r.ReachTime) > 1e-12 {
 		t.Fatalf("η = %v for reach time %v", r.Eta, r.ReachTime)
 	}
-	if r.SoundnessViolations != 0 {
-		t.Fatalf("sound estimate violated %d times", r.SoundnessViolations)
+	if r.FusedIntervalMisses != 0 {
+		t.Fatalf("fused estimate missed %d times", r.FusedIntervalMisses)
+	}
+	if r.SoundViolations != 0 {
+		t.Fatalf("sound estimate violated %d times", r.SoundViolations)
 	}
 }
 

@@ -57,6 +57,7 @@ type Metrics struct {
 	reached   atomic.Int64
 	collided  atomic.Int64
 	timeouts  atomic.Int64
+	fusedMiss atomic.Int64
 	soundViol atomic.Int64
 	etaSum    atomicFloat
 
@@ -155,7 +156,8 @@ func (m *Metrics) OnEpisode(o EpisodeOutcome) {
 	default:
 		m.timeouts.Add(1)
 	}
-	m.soundViol.Add(int64(o.SoundnessViolations))
+	m.fusedMiss.Add(int64(o.FusedIntervalMisses))
+	m.soundViol.Add(int64(o.SoundViolations))
 	m.etaSum.Add(o.Eta)
 }
 
@@ -180,11 +182,23 @@ type Snapshot struct {
 	Collided int64 `json:"collided"`
 	Timeouts int64 `json:"timeouts"`
 
-	MeanEta             float64 `json:"mean_eta"`
-	Steps               int64   `json:"steps"`
-	EmergencySteps      int64   `json:"emergency_steps"`
-	EmergencyRate       float64 `json:"emergency_rate"`
-	SoundnessViolations int64   `json:"soundness_violations"`
+	MeanEta        float64 `json:"mean_eta"`
+	Steps          int64   `json:"steps"`
+	EmergencySteps int64   `json:"emergency_steps"`
+	EmergencyRate  float64 `json:"emergency_rate"`
+
+	// FusedIntervalMisses counts fused-interval misses (expected Kalman
+	// sharpening error, not a safety defect).
+	FusedIntervalMisses int64 `json:"fused_interval_misses"`
+	// SoundnessViolations mirrors FusedIntervalMisses under the counter's
+	// old (misleading) name.
+	//
+	// Deprecated: kept as a JSON alias for one release; read
+	// FusedIntervalMisses instead.
+	SoundnessViolations int64 `json:"soundness_violations"`
+	// SoundViolations counts genuine soundness-contract violations; 0 in
+	// every correct configuration.
+	SoundViolations int64 `json:"sound_violations"`
 
 	// MonitorReasons counts runtime-monitor selections by reason ("kn"
 	// when the embedded planner kept control).  Empty for pure agents,
@@ -222,7 +236,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Timeouts:            m.timeouts.Load(),
 		Steps:               m.steps.Load(),
 		EmergencySteps:      m.emergency.Load(),
-		SoundnessViolations: m.soundViol.Load(),
+		FusedIntervalMisses: m.fusedMiss.Load(),
+		SoundnessViolations: m.fusedMiss.Load(),
+		SoundViolations:     m.soundViol.Load(),
 		SoundWidth:          m.soundWidth.Snapshot(),
 		FusedWidth:          m.fusedWidth.Snapshot(),
 		ConsWidth:           m.consWidth.Snapshot(),
@@ -294,7 +310,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	fmt.Fprintf(&b, "mean eta:        %.4f\n", s.MeanEta)
 	fmt.Fprintf(&b, "steps:           %d, emergency %d (%.2f%%)\n",
 		s.Steps, s.EmergencySteps, 100*s.EmergencyRate)
-	fmt.Fprintf(&b, "soundness viol.: %d\n", s.SoundnessViolations)
+	fmt.Fprintf(&b, "fused misses:    %d\n", s.FusedIntervalMisses)
+	fmt.Fprintf(&b, "sound viol.:     %d\n", s.SoundViolations)
 	if len(s.MonitorReasons) > 0 {
 		keys := make([]string, 0, len(s.MonitorReasons))
 		for k := range s.MonitorReasons {

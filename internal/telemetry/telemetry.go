@@ -63,14 +63,21 @@ type StepProbe struct {
 
 // EpisodeOutcome is the scored result of one finished episode.
 type EpisodeOutcome struct {
-	Seed                int64
-	Reached             bool
-	Collided            bool
-	Eta                 float64
-	ReachTime           float64
-	Steps               int
-	EmergencySteps      int
-	SoundnessViolations int
+	Seed           int64
+	Reached        bool
+	Collided       bool
+	Eta            float64
+	ReachTime      float64
+	Steps          int
+	EmergencySteps int
+
+	// FusedIntervalMisses counts steps where the fused (deliberately
+	// non-guaranteed) interval missed the true state — expected sharpening
+	// error.  Previously (mis)named SoundnessViolations.
+	FusedIntervalMisses int
+	// SoundViolations counts genuine soundness-contract violations (the
+	// sound interval pair missed the true state); must be 0.
+	SoundViolations int
 }
 
 // Guard fault and fallback kinds, as reported by the planner-fault guard

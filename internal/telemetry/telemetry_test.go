@@ -50,7 +50,7 @@ func TestMetricsCounters(t *testing.T) {
 	m.OnMonitorDecision(ReasonPlanner)
 	m.OnMonitorDecision(ReasonBoundary)
 	m.OnMonitorDecision("mystery")
-	m.OnEpisode(EpisodeOutcome{Reached: true, Eta: 0.2, Steps: 2, SoundnessViolations: 1})
+	m.OnEpisode(EpisodeOutcome{Reached: true, Eta: 0.2, Steps: 2, FusedIntervalMisses: 1})
 	m.OnEpisode(EpisodeOutcome{Collided: true, Eta: -1})
 	m.OnEpisode(EpisodeOutcome{})
 	m.OnProgress(3, 10)
@@ -68,8 +68,14 @@ func TestMetricsCounters(t *testing.T) {
 	if math.Abs(s.MeanEta-(0.2-1)/3) > 1e-12 {
 		t.Errorf("mean eta = %v", s.MeanEta)
 	}
-	if s.SoundnessViolations != 1 {
-		t.Errorf("soundness violations = %d", s.SoundnessViolations)
+	if s.FusedIntervalMisses != 1 {
+		t.Errorf("fused interval misses = %d", s.FusedIntervalMisses)
+	}
+	if s.SoundnessViolations != s.FusedIntervalMisses {
+		t.Errorf("deprecated alias %d != fused misses %d", s.SoundnessViolations, s.FusedIntervalMisses)
+	}
+	if s.SoundViolations != 0 {
+		t.Errorf("sound violations = %d", s.SoundViolations)
 	}
 	if s.MonitorReasons[ReasonPlanner] != 1 || s.MonitorReasons[ReasonBoundary] != 1 || s.MonitorReasons["other"] != 1 {
 		t.Errorf("monitor reasons = %v", s.MonitorReasons)

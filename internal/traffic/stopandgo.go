@@ -68,13 +68,24 @@ type StopAndGo struct {
 
 // NewStopAndGo creates a stop-and-go driver drawing randomness from rng.
 func NewStopAndGo(cfg StopAndGoConfig, rng *rand.Rand) (*StopAndGo, error) {
-	if err := cfg.Validate(); err != nil {
+	d := &StopAndGo{}
+	if err := d.Reset(cfg, rng); err != nil {
 		return nil, err
 	}
-	if rng == nil {
-		return nil, fmt.Errorf("traffic: nil rng")
+	return d, nil
+}
+
+// Reset re-initialises the driver in place for a new episode; behaviour is
+// identical to a freshly constructed StopAndGo.
+func (d *StopAndGo) Reset(cfg StopAndGoConfig, rng *rand.Rand) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	return &StopAndGo{cfg: cfg, rng: rng}, nil
+	if rng == nil {
+		return fmt.Errorf("traffic: nil rng")
+	}
+	*d = StopAndGo{cfg: cfg, rng: rng}
+	return nil
 }
 
 // Accel returns the behavioural acceleration at time t for state s.

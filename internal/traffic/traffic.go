@@ -65,13 +65,24 @@ type Driver struct {
 
 // NewDriver creates a Driver drawing randomness from rng.
 func NewDriver(cfg DriverConfig, rng *rand.Rand) (*Driver, error) {
-	if err := cfg.Validate(); err != nil {
+	d := &Driver{}
+	if err := d.Reset(cfg, rng); err != nil {
 		return nil, err
 	}
-	if rng == nil {
-		return nil, fmt.Errorf("traffic: nil rng")
+	return d, nil
+}
+
+// Reset re-initialises the driver in place for a new episode; behaviour is
+// identical to a freshly constructed Driver.
+func (d *Driver) Reset(cfg DriverConfig, rng *rand.Rand) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	return &Driver{cfg: cfg, rng: rng}, nil
+	if rng == nil {
+		return fmt.Errorf("traffic: nil rng")
+	}
+	*d = Driver{cfg: cfg, rng: rng}
+	return nil
 }
 
 // Accel returns the behavioural acceleration command at time t for the

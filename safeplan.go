@@ -276,6 +276,9 @@ type (
 // NewMetrics returns an empty Metrics collector.
 func NewMetrics() *Metrics { return telemetry.NewMetrics() }
 
+// NewEpisodeScratch returns an empty episode arena (see EpisodeScratch).
+func NewEpisodeScratch() *EpisodeScratch { return sim.NewScratch() }
+
 // MultiCollector bundles several collectors into one (e.g. Metrics plus a
 // ProgressFunc driving a console progress line).
 func MultiCollector(cs ...Collector) Collector { return telemetry.Multi(cs...) }
@@ -499,6 +502,14 @@ type (
 	// here so custom CampaignEpisodeFunc implementations — not just the
 	// three scenario adapters — can be written against the facade.
 	EpisodeOptions = sim.Options
+
+	// EpisodeScratch is the reusable per-episode arena behind the
+	// zero-allocation stepping path (DESIGN.md §12).  It is purely an
+	// optimization: results are bit-identical with and without one, and a
+	// nil scratch selects the legacy allocate-per-episode path.  The
+	// campaign engines pool arenas automatically; set EpisodeOptions.Scratch
+	// only in custom episode loops that replay many episodes serially.
+	EpisodeScratch = sim.Scratch
 
 	// Invariant is a runtime safety checker threaded through the step loop;
 	// the same checkers run in unit tests, fuzz targets, and campaigns.

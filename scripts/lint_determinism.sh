@@ -1,0 +1,46 @@
+#!/bin/sh
+# Determinism hygiene for the simulation hot path.
+#
+# Episode results must be pure functions of the seed: the engine threads
+# explicit *rand.Rand streams everywhere and keeps wall-clock reads out of
+# the stepping loop (the guard's wall-clock watchdog, internal/guard, is
+# the one deliberate exception and lives outside the checked packages).
+# This check fails when someone introduces
+#
+#   - a math/rand *global* call (rand.Float64(), rand.Int63(), ...) —
+#     global streams are shared mutable state and break seed pairing; or
+#   - a new time.Now in the stepping packages beyond the two known
+#     telemetry latency probes (sim.go / multi.go, both behind a
+#     `coll != nil` check, so they never run in headless campaigns).
+#
+# If you add a legitimate telemetry probe, raise TIME_NOW_BUDGET in the
+# same change and say why in the commit message.
+set -eu
+cd "$(dirname "$0")/.."
+
+PKGS="internal/sim internal/fusion internal/kalman internal/comms internal/reach internal/monitor"
+TIME_NOW_BUDGET=2
+
+fail=0
+
+# Global math/rand calls: rand.X( where X is an exported identifier, minus
+# the constructors (rand.New, rand.NewSource) used to build explicit
+# streams.  Method calls on instances (rng.Float64()) do not match.
+globals=$(grep -rnE '\brand\.[A-Z][A-Za-z]*\(' $PKGS --include='*.go' \
+	| grep -v _test.go | grep -vE 'rand\.(New|NewSource)\(' || true)
+if [ -n "$globals" ]; then
+	echo "lint-determinism: global math/rand calls in stepping packages:" >&2
+	echo "$globals" >&2
+	fail=1
+fi
+
+# time.Now beyond the telemetry-probe budget.
+nows=$(grep -rn 'time\.Now' $PKGS --include='*.go' | grep -v _test.go || true)
+count=$(printf '%s' "$nows" | grep -c . || true)
+if [ "$count" -gt "$TIME_NOW_BUDGET" ]; then
+	echo "lint-determinism: $count time.Now calls in stepping packages (budget $TIME_NOW_BUDGET):" >&2
+	echo "$nows" >&2
+	fail=1
+fi
+
+exit $fail
