@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-campaign bench-seed bench-guard bench-perf campaign-smoke guard-smoke alloc-gate golden fuzz-smoke lint-extra
+.PHONY: build test check bench bench-campaign bench-seed bench-guard bench-perf campaign-smoke guard-smoke alloc-gate serve-smoke golden fuzz-smoke lint-extra
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,13 @@ lint-extra:
 # arena path must stay bit-identical to the allocate-per-episode path.
 alloc-gate:
 	$(GO) test -run 'TestEpisodeAllocs|TestMultiEpisodeAllocs|TestScratchParity' ./internal/sim -v
+
+# Serving CI gate: a short soak (500 concurrent sessions stepped to
+# termination under the burst preset) asserting the p99 step-latency SLO,
+# zero sound violations, zero collisions, and no goroutine leak across
+# Server.Close, plus the full session-lifecycle suite.
+serve-smoke:
+	SERVE_SOAK_SESSIONS=500 $(GO) test ./internal/serve -count=1 -v
 
 # Go micro/macro benchmarks only (no unit tests alongside).
 bench:

@@ -365,7 +365,7 @@ func BenchmarkCarFollowEpisode(b *testing.B) {
 	agent := carfollow.NewUltimate(cfg.Scenario, carfollow.AggressiveExpert(cfg.Scenario))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := carfollow.Run(cfg, agent, int64(i)); err != nil {
+		if _, err := carfollow.RunEpisode(cfg, agent, sim.Options{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -158,9 +158,9 @@ func main() {
 			c = coll
 		}
 		rs, err := sim.RunCampaign(cfg, agent, *episodes, sim.CampaignOptions{
-			BaseSeed:  *seed,
-			Workers:   *workers,
-			Collector: c,
+			Options:  sim.Options{Collector: c},
+			BaseSeed: *seed,
+			Workers:  *workers,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -32,13 +32,13 @@ func main() {
 	cfg := safeplan.DefaultSimConfig()
 	cfg.Comms = safeplan.DelayedComms(0.25, 0.5)
 
-	pure, err := safeplan.RunEpisodeTraced(cfg, safeplan.BuildPure(scenario, kn), seed)
+	pure, err := safeplan.RunEpisode(cfg, safeplan.BuildPure(scenario, kn), seed, safeplan.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}
 	ultCfg := cfg
 	ultCfg.InfoFilter = true
-	comp, err := safeplan.RunEpisodeTraced(ultCfg, safeplan.BuildUltimate(scenario, kn), seed)
+	comp, err := safeplan.RunEpisode(ultCfg, safeplan.BuildUltimate(scenario, kn), seed, safeplan.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}

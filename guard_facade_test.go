@@ -9,58 +9,46 @@ import (
 	"safeplan/internal/faultinject"
 )
 
-// TestGuardedTraceParityAcrossLegacyWrappers pins satellite guarantee:
-// the deprecated traced wrapper with a guard enabled and no fault model
-// keeps its golden trace bit-identical to both the unguarded run and the
-// options form.  Compared trace-by-trace (not whole-struct) because the
-// guarded results additionally carry the guard's call counters.
-func TestGuardedTraceParityAcrossLegacyWrappers(t *testing.T) {
+// TestGuardedTraceParity pins a core guarantee of the guard layer: with
+// a guard enabled and no fault model, the golden trace stays bit-identical
+// to the unguarded run.  Compared trace-by-trace (not whole-struct)
+// because the guarded result additionally carries the guard's call
+// counters.
+func TestGuardedTraceParity(t *testing.T) {
 	sc := DefaultScenario()
 	cfg := DefaultSimConfig()
 	cfg.Comms = DelayedComms(0.25, 0.3)
 	cfg.InfoFilter = true
 	agent := BuildUltimate(sc, NewConservativeExpert(sc))
 
-	plain, err := RunEpisodeTraced(cfg, agent, 42)
+	plain, err := RunEpisode(cfg, agent, 42, WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	gc := DefaultGuardConfig(VehicleLimits{}) // zero limits inherit the scenario's
-	guardedCfg := cfg
-	guardedCfg.Guard = &gc
-	legacy, err := RunEpisodeTraced(guardedCfg, agent, 42)
-	if err != nil {
-		t.Fatal(err)
-	}
 	opt, err := RunEpisode(cfg, agent, 42, WithTrace(), WithGuard(gc))
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	for name, got := range map[string]EpisodeResult{"legacy": legacy, "option": opt} {
-		if got.Guard.Faults != 0 || got.Guard.FallbackLastGood != 0 ||
-			got.Guard.FallbackEmergency != 0 || got.Guard.WorstState != GuardNominal {
-			t.Fatalf("%s: healthy planner tripped the guard: %+v", name, got.Guard)
-		}
-		if len(got.Trace) != len(plain.Trace) {
-			t.Fatalf("%s: trace length %d, want %d", name, len(got.Trace), len(plain.Trace))
-		}
-		for i := range plain.Trace {
-			// Formatted compare: steps with no feasible window hold NaN
-			// bounds and NaN != NaN under ==.
-			if fmt.Sprintf("%+v", got.Trace[i]) != fmt.Sprintf("%+v", plain.Trace[i]) {
-				t.Fatalf("%s: step %d differs with guard enabled:\n%+v\n%+v",
-					name, i, plain.Trace[i], got.Trace[i])
-			}
-		}
-		if got.Eta != plain.Eta || got.Steps != plain.Steps || got.Reached != plain.Reached {
-			t.Fatalf("%s: outcome differs: %+v vs %+v", name, got, plain)
+	if opt.Guard.Faults != 0 || opt.Guard.FallbackLastGood != 0 ||
+		opt.Guard.FallbackEmergency != 0 || opt.Guard.WorstState != GuardNominal {
+		t.Fatalf("healthy planner tripped the guard: %+v", opt.Guard)
+	}
+	if len(opt.Trace) != len(plain.Trace) {
+		t.Fatalf("trace length %d, want %d", len(opt.Trace), len(plain.Trace))
+	}
+	for i := range plain.Trace {
+		// Formatted compare: steps with no feasible window hold NaN
+		// bounds and NaN != NaN under ==.
+		if fmt.Sprintf("%+v", opt.Trace[i]) != fmt.Sprintf("%+v", plain.Trace[i]) {
+			t.Fatalf("step %d differs with guard enabled:\n%+v\n%+v",
+				i, plain.Trace[i], opt.Trace[i])
 		}
 	}
-	if fmt.Sprintf("%+v", legacy.Guard) != fmt.Sprintf("%+v", opt.Guard) {
-		t.Fatalf("guard stats diverge between wrapper and option:\n%+v\n%+v",
-			legacy.Guard, opt.Guard)
+	if opt.Eta != plain.Eta || opt.Steps != plain.Steps || opt.Reached != plain.Reached {
+		t.Fatalf("outcome differs: %+v vs %+v", opt, plain)
 	}
 }
 

@@ -25,14 +25,10 @@ type ShardStats struct {
 
 	// FusedIntervalMisses counts steps whose fused (deliberately
 	// non-guaranteed, Kalman-sharpened) interval missed the true state —
-	// expected sharpening error, not a soundness breach.  This counter was
-	// historically (mis)named SoundnessViolations; the old JSON key is kept
-	// below as a deprecated alias for one release.
+	// expected sharpening error, not a soundness breach.  (Historically
+	// (mis)named SoundnessViolations; the deprecated alias key has been
+	// removed.)
 	FusedIntervalMisses int64 `json:"fused_interval_misses"`
-	// Deprecated: SoundnessViolations mirrors FusedIntervalMisses under the
-	// pre-rename JSON key so existing report consumers keep working.  It is
-	// kept equal to FusedIntervalMisses and will be removed next release.
-	SoundnessViolations int64 `json:"soundness_violations"`
 	// SoundViolations counts genuine soundness-contract violations: steps
 	// where the sound interval pair missed the true state.  The framework's
 	// guarantee rests on this being 0 (cmd/bench -smoke asserts it).
@@ -87,7 +83,6 @@ func (a *ShardStats) Observe(r *sim.Result) {
 	a.Steps += int64(r.Steps)
 	a.EmergencySteps += int64(r.EmergencySteps)
 	a.FusedIntervalMisses += int64(r.FusedIntervalMisses)
-	a.SoundnessViolations = a.FusedIntervalMisses // deprecated alias stays equal
 	a.SoundViolations += int64(r.SoundViolations)
 	a.Eta.Observe(r.Eta)
 	if r.Reached && !r.Collided {
@@ -130,7 +125,6 @@ func (a *ShardStats) Merge(b *ShardStats) {
 	a.Steps += b.Steps
 	a.EmergencySteps += b.EmergencySteps
 	a.FusedIntervalMisses += b.FusedIntervalMisses
-	a.SoundnessViolations = a.FusedIntervalMisses // deprecated alias stays equal
 	a.SoundViolations += b.SoundViolations
 	a.Eta.Merge(b.Eta)
 	a.ReachTimeSafe.Merge(b.ReachTimeSafe)

@@ -9,8 +9,10 @@ import (
 	"strconv"
 )
 
-// checkpointVersion guards the on-disk layout.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk layout.  Version 2 dropped the
+// deprecated soundness_violations alias (and its load-time migration);
+// version-1 checkpoints are rejected as stale rather than migrated.
+const checkpointVersion = 2
 
 // ErrCorruptCheckpoint marks a checkpoint file that cannot be decoded —
 // truncated, bit-flipped, malformed, or written by an incompatible
@@ -76,13 +78,6 @@ func loadCheckpoint(path string, fp Fingerprint) (map[int]*ShardStats, error) {
 		if err != nil || i < 0 || agg == nil {
 			return nil, fmt.Errorf("%w %s: bad shard key %q", ErrCorruptCheckpoint, path, k)
 		}
-		// Pre-rename checkpoints carry the fused-miss count only under the
-		// deprecated soundness_violations key; migrate it forward.  Either
-		// way the alias is re-pinned to the canonical counter.
-		if agg.FusedIntervalMisses == 0 && agg.SoundnessViolations != 0 {
-			agg.FusedIntervalMisses = agg.SoundnessViolations
-		}
-		agg.SoundnessViolations = agg.FusedIntervalMisses
 		out[i] = agg
 	}
 	return out, nil

@@ -124,7 +124,7 @@ func TestCheckpointCorruptionDetected(t *testing.T) {
 		},
 		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
 		"version-skew": func(b []byte) []byte {
-			return []byte(strings.Replace(string(b), `"version": 1`, `"version": 99`, 1))
+			return []byte(strings.Replace(string(b), `"version": 2`, `"version": 99`, 1))
 		},
 		"bad-shard-key": func(b []byte) []byte {
 			return []byte(strings.Replace(string(b), `"0":`, `"zero":`, 1))

@@ -4,17 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
-	"time"
 
 	"safeplan/internal/comms"
 	"safeplan/internal/disturb"
 	"safeplan/internal/dynamics"
 	"safeplan/internal/faultinject"
-	"safeplan/internal/fusion"
 	"safeplan/internal/guard"
 	"safeplan/internal/sensor"
 	"safeplan/internal/sim"
-	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
 )
 
@@ -146,237 +143,20 @@ func (c SimConfig) Validate() error {
 	return nil
 }
 
-// Run simulates one car-following episode.  The returned sim.Result reuses
-// the left-turn study's scoring: η = −1 on a gap violation, 1/t on
-// reaching the goal, 0 on timeout.
-func Run(cfg SimConfig, agent Agent, seed int64) (sim.Result, error) {
-	return RunEpisode(cfg, agent, sim.Options{Seed: seed})
-}
-
 // RunEpisode simulates one car-following episode under the shared episode
-// options (trace recording, telemetry collector).
-func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (res sim.Result, err error) {
-	if err := cfg.Validate(); err != nil {
-		return sim.Result{}, err
-	}
-	if len(opts.Invariants) > 0 {
-		defer func() {
-			if err == nil {
-				err = sim.CheckEpisodeInvariants(opts.Invariants, &res)
-			}
-		}()
-	}
-	seed := opts.Seed
-	horizon := cfg.Horizon
-	if horizon == 0 {
-		horizon = DefaultHorizon
-	}
-	sh := opts.Scratch
-	sh.Begin()
-	master := sh.RNG(seed)
-	driver, err := sh.StopAndGo(cfg.Lead, sh.RNG(master.Int63()))
+// options (trace recording, telemetry collector).  Like sim.Run it is a
+// thin closed loop over the resumable Stepper engine.
+func RunEpisode(cfg SimConfig, agent Agent, opts sim.Options) (sim.Result, error) {
+	st, err := NewStepper(cfg, agent, opts)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	channel, err := sh.Channel(cfg.Comms, sh.RNG(master.Int63()))
-	if err != nil {
-		return sim.Result{}, err
-	}
-	sens, err := sh.Sensor(cfg.Sensor, sh.RNG(master.Int63()))
-	if err != nil {
-		return sim.Result{}, err
-	}
-	filt, err := sh.Fusion(fusion.Config{
-		Limits:    cfg.Scenario.Lead,
-		Sensor:    cfg.Sensor,
-		UseKalman: cfg.InfoFilter,
-		Replay:    cfg.InfoFilter,
-	})
-	if err != nil {
-		return sim.Result{}, err
-	}
-	initRng := sh.RNG(master.Int63())
-	// Disturbance streams derive last so legacy configurations keep their
-	// exact per-seed behaviour.
-	var sensProc disturb.SensorProcess
-	if cfg.SensorDisturb != nil {
-		sensProc = cfg.SensorDisturb.NewSensor(sh.RNG(master.Int63()))
-	}
-	// Planner-fault streams derive after the disturbance streams, under the
-	// same compatibility rule.
-	gs, err := sim.NewGuardedStep(cfg.Guard, cfg.PlannerFault, cfg.Scenario.Ego, master)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	if gs != nil {
-		defer func() { res.Guard = gs.Stats() }()
-	}
-
-	sc := cfg.Scenario
-	ego := sc.EgoInit
-	lead := sc.LeadInit
-	if cfg.LeadSpeedMax > 0 {
-		lead.V = cfg.LeadSpeedMin + initRng.Float64()*(cfg.LeadSpeedMax-cfg.LeadSpeedMin)
-		ego.V = lead.V
-	}
-	filt.InitExact(0, lead, 0)
-
-	msgTick := comms.MakeTicker(cfg.DtM)
-	msgTick.Due(0)
-	sensTick := comms.MakeTicker(cfg.DtS)
-	sensTick.Due(0)
-
-	var leadA float64
-	var lastMeas sensor.Reading
-	var haveMeas bool
-	msgBuf := sh.MsgBuf()
-	coll := opts.Collector
-	defer sim.ReportOutcome(coll, seed, &res)
-
-	// Per-episode closures (see sim.Run): built once, reading the loop
-	// variables through shared captures.
-	var t float64
-	var k Knowledge
-	plan := func() (float64, bool) { return agent.Accel(t, ego, k) }
-	emerg := func() float64 { return sc.EmergencyAccel(ego) }
-	// Car following has no committed regime: outside the unsafe and
-	// boundary sets any admissible command is one-step safe, so the
-	// envelope is the full actuation range there and κ_e-only inside them.
-	env := func() (float64, float64, bool) {
-		if sc.InUnsafeSet(ego, k.Sound) || sc.InBoundarySafeSet(ego, k.Sound) {
-			return 0, 0, false
-		}
-		return sc.Ego.AMin, sc.Ego.AMax, true
-	}
-
-	dt := sc.DtC
-	maxSteps := int(horizon/dt) + 1
-	for step := 0; step < maxSteps; step++ {
-		t = float64(step) * dt
-
-		if at, ok := msgTick.Due(t); ok {
-			channel.Send(comms.Message{Sender: 1, T: at, P: lead.P, V: lead.V, A: leadA})
-		}
-		msgBuf = channel.PollAppend(t, msgBuf[:0])
-		for _, m := range msgBuf {
-			filt.OnMessage(m)
-		}
-		if at, ok := sensTick.Due(t); ok {
-			drop := false
-			var bias float64
-			if sensProc != nil {
-				d := sensProc.Next(at)
-				drop = d.Drop
-				bias = d.Bias
-			}
-			if !drop {
-				lastMeas = sens.MeasureBiased(1, at, lead, leadA, bias)
-				haveMeas = true
-				filt.OnReading(lastMeas)
-			}
-		}
-
-		est := filt.EstimateAt(t)
-		if !est.P.Contains(lead.P) || !est.V.Contains(lead.V) {
-			res.FusedIntervalMisses++
-		}
-		if !est.SoundP.Contains(lead.P) || !est.SoundV.Contains(lead.V) {
-			res.SoundViolations++
-		}
-		k = Knowledge{
-			Sound: LeadEstimate{P: est.SoundP, V: est.SoundV,
-				PointP: est.PointP, PointV: est.PointV, A: est.A},
-			Fused: LeadEstimate{P: est.P, V: est.V,
-				PointP: est.PointP, PointV: est.PointV, A: est.A},
-		}
-		var a0 float64
-		var emergency bool
-		var gres guard.StepResult
-		var start time.Time
-		if coll != nil {
-			start = time.Now()
-		}
-		if gs != nil {
-			a0, emergency, gres = gs.Step(t, plan, emerg, env)
-		} else {
-			a0, emergency = plan()
-		}
-		if coll != nil {
-			coll.OnStep(telemetry.StepProbe{
-				T:          t,
-				Emergency:  emergency,
-				SoundWidth: est.SoundP.Width(),
-				FusedWidth: est.P.Width(),
-				PlannerNs:  time.Since(start).Nanoseconds(),
-			})
-			if gs != nil {
-				gs.Report(coll, t, gres)
-			}
-		}
-		if emergency {
-			res.EmergencySteps++
-		}
-		if len(opts.Invariants) > 0 {
-			si := sim.StepInfo{
-				T: t, Ego: ego, Other: lead, OtherA: leadA,
-				Est: est, Accel: a0, Emergency: emergency,
-			}
-			if gs != nil {
-				gs.Annotate(&si, gres)
-			}
-			if ierr := sim.CheckStepInvariants(opts.Invariants, si); ierr != nil {
-				return res, ierr
-			}
-		}
-
-		if opts.Trace {
-			// Reuse the shared sample layout: the lead plays the oncoming
-			// vehicle's role, and the passing-window columns are NaN (car
-			// following has no crossing window).
-			s := sim.Sample{
-				T:    t,
-				EgoP: ego.P, EgoV: ego.V, EgoA: a0,
-				OncP: lead.P, OncV: lead.V, OncA: leadA,
-				MeasP: math.NaN(), MeasV: math.NaN(),
-				EstP: est.PointP, EstV: est.PointV,
-				EstPLo: est.P.Lo, EstPHi: est.P.Hi,
-				EstVLo: est.V.Lo, EstVHi: est.V.Hi,
-				SoundPLo: est.SoundP.Lo, SoundPHi: est.SoundP.Hi,
-				SoundVLo: est.SoundV.Lo, SoundVHi: est.SoundV.Hi,
-				SoundLo: math.NaN(), SoundHi: math.NaN(),
-				ConsLo: math.NaN(), ConsHi: math.NaN(),
-				AggrLo: math.NaN(), AggrHi: math.NaN(),
-				Emergency: emergency,
-			}
-			if haveMeas {
-				s.MeasP, s.MeasV = lastMeas.P, lastMeas.V
-			}
-			res.Trace = append(res.Trace, s)
-		}
-
-		var ba float64
-		if len(cfg.LeadScript) > 0 {
-			ba = sim.ScriptAccel(cfg.LeadScript, step)
-		} else {
-			ba = driver.Accel(t, lead)
-		}
-		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)
-		lead, leadA = dynamics.Step(lead, ba, dt, sc.Lead)
-		res.Steps++
-
-		if sc.Violation(ego, lead) {
-			res.Collided = true
-			res.Eta = -1
-			return res, nil
-		}
-		if sc.ReachedGoal(ego) {
-			res.Reached = true
-			res.ReachTime = t + dt
-			res.Eta = 1 / res.ReachTime
-			return res, nil
+	for {
+		out, err := st.Step(sim.StepInput{})
+		if err != nil || out.Done {
+			return st.Finish()
 		}
 	}
-	return res, nil
 }
 
 // RunCampaign simulates n seed-paired car-following episodes with the
@@ -396,7 +176,7 @@ func RunCampaign(cfg SimConfig, agent Agent, n int, o sim.CampaignOptions) ([]si
 	var done atomic.Int64
 	scratches := sim.NewWorkerScratches(o.Workers, n)
 	sim.ParallelForWorkersScoped(o.Workers, n, func(w, i int) {
-		results[i], errs[i] = RunEpisode(cfg, agent, sim.Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector, Scratch: scratches[w]})
+		results[i], errs[i] = RunEpisode(cfg, agent, o.EpisodeOptions(i, scratches[w]))
 		if o.Collector != nil {
 			o.Collector.OnProgress(done.Add(1), int64(n))
 		}
@@ -407,11 +187,4 @@ func RunCampaign(cfg SimConfig, agent Agent, n int, o sim.CampaignOptions) ([]si
 		}
 	}
 	return results, nil
-}
-
-// RunMany simulates n seed-paired episodes in parallel with no telemetry.
-//
-// Deprecated: use RunCampaign.
-func RunMany(cfg SimConfig, agent Agent, n int, baseSeed int64) ([]sim.Result, error) {
-	return RunCampaign(cfg, agent, n, sim.CampaignOptions{BaseSeed: baseSeed})
 }

@@ -36,7 +36,7 @@ func TestSimValidate(t *testing.T) {
 
 func TestRunConservativeSafe(t *testing.T) {
 	cfg := simCfg()
-	r, err := Run(cfg, &Pure{Cfg: cfg.Scenario, Planner: ConservativeExpert(cfg.Scenario)}, 1)
+	r, err := RunEpisode(cfg, &Pure{Cfg: cfg.Scenario, Planner: ConservativeExpert(cfg.Scenario)}, sim.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +59,11 @@ func TestRunDeterministic(t *testing.T) {
 	cfg.Comms = comms.Delayed(0.25, 0.5)
 	agent := NewUltimate(cfg.Scenario, AggressiveExpert(cfg.Scenario))
 	cfg.InfoFilter = true
-	a, err := Run(cfg, agent, 9)
+	a, err := RunEpisode(cfg, agent, sim.Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg, agent, 9)
+	b, err := RunEpisode(cfg, agent, sim.Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestPureAggressiveUnsafeUnderDisturbance(t *testing.T) {
 	agent := &Pure{Cfg: cfg.Scenario, Planner: AggressiveExpert(cfg.Scenario)}
 	violations := 0
 	for seed := int64(0); seed < 40; seed++ {
-		r, err := Run(cfg, agent, seed)
+		r, err := RunEpisode(cfg, agent, sim.Options{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +107,7 @@ func TestCompoundAlwaysSafeAcrossSettings(t *testing.T) {
 			cfg.InfoFilter = true
 			agent := NewUltimate(cfg.Scenario, AggressiveExpert(cfg.Scenario))
 			for seed := int64(0); seed < 30; seed++ {
-				r, err := Run(cfg, agent, seed)
+				r, err := RunEpisode(cfg, agent, sim.Options{Seed: seed})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -125,13 +125,13 @@ func TestUltimateFasterThanBasic(t *testing.T) {
 	cfg := simCfg()
 	cfg.Comms = comms.Delayed(0.25, 0.5)
 	const n = 60
-	basicRs, err := RunMany(cfg, NewBasic(cfg.Scenario, AggressiveExpert(cfg.Scenario)), n, 100)
+	basicRs, err := RunCampaign(cfg, NewBasic(cfg.Scenario, AggressiveExpert(cfg.Scenario)), n, sim.CampaignOptions{BaseSeed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ultCfg := cfg
 	ultCfg.InfoFilter = true
-	ultRs, err := RunMany(ultCfg, NewUltimate(ultCfg.Scenario, AggressiveExpert(ultCfg.Scenario)), n, 100)
+	ultRs, err := RunCampaign(ultCfg, NewUltimate(ultCfg.Scenario, AggressiveExpert(ultCfg.Scenario)), n, sim.CampaignOptions{BaseSeed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,15 +144,15 @@ func TestUltimateFasterThanBasic(t *testing.T) {
 	}
 }
 
-func TestRunManyPairsSeeds(t *testing.T) {
+func TestRunCampaignPairsSeeds(t *testing.T) {
 	cfg := simCfg()
 	agent := &Pure{Cfg: cfg.Scenario, Planner: ConservativeExpert(cfg.Scenario)}
-	rs, err := RunMany(cfg, agent, 5, 30)
+	rs, err := RunCampaign(cfg, agent, 5, sim.CampaignOptions{BaseSeed: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, r := range rs {
-		single, err := Run(cfg, agent, 30+int64(i))
+		single, err := RunEpisode(cfg, agent, sim.Options{Seed: 30 + int64(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,7 +160,7 @@ func TestRunManyPairsSeeds(t *testing.T) {
 			t.Fatalf("episode %d differs from direct run", i)
 		}
 	}
-	if _, err := RunMany(cfg, agent, 0, 0); err == nil {
+	if _, err := RunCampaign(cfg, agent, 0, sim.CampaignOptions{}); err == nil {
 		t.Fatal("zero episodes accepted")
 	}
 }
@@ -186,7 +186,7 @@ func TestQuickCarFollowEndToEnd(t *testing.T) {
 		}
 		cfg.InfoFilter = u%2 == 0
 		agent := NewUltimate(cfg.Scenario, AggressiveExpert(cfg.Scenario))
-		r, err := Run(cfg, agent, seed)
+		r, err := RunEpisode(cfg, agent, sim.Options{Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -197,10 +197,10 @@ func TestQuickCarFollowEndToEnd(t *testing.T) {
 	}
 }
 
-// TestRunManyMatchesRunCampaign pins the deprecated wrapper to its
-// replacement under an adversarial disturbance: identical inputs must
-// yield identical results.
-func TestRunManyMatchesRunCampaign(t *testing.T) {
+// TestRunCampaignDeterministic pins campaign determinism under an
+// adversarial disturbance: identical invocations must yield identical
+// results.
+func TestRunCampaignDeterministic(t *testing.T) {
 	cfg := simCfg()
 	m, err := disturb.Preset("worst")
 	if err != nil {
@@ -210,7 +210,7 @@ func TestRunManyMatchesRunCampaign(t *testing.T) {
 	cfg.SensorDisturb = disturb.BiasDrift{Max: 1, Period: 12}
 	cfg.InfoFilter = true
 	agent := NewUltimate(cfg.Scenario, AggressiveExpert(cfg.Scenario))
-	a, err := RunMany(cfg, agent, 24, 7)
+	a, err := RunCampaign(cfg, agent, 24, sim.CampaignOptions{BaseSeed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestRunManyMatchesRunCampaign(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(a, b) {
-		t.Fatal("RunMany diverged from RunCampaign")
+		t.Fatal("car-following campaign not deterministic")
 	}
 }
 

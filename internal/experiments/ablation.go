@@ -67,7 +67,7 @@ func Ablations(pl Planners, n int, seed int64) ([]AblationRow, error) {
 
 	var rows []AblationRow
 	for _, v := range variants {
-		rs, err := sim.RunMany(v.cfg, v.agent, n, seed)
+		rs, err := sim.RunCampaign(v.cfg, v.agent, n, sim.CampaignOptions{BaseSeed: seed})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
 		}

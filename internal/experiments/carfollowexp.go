@@ -5,6 +5,7 @@ import (
 
 	"safeplan/internal/carfollow"
 	"safeplan/internal/eval"
+	"safeplan/internal/sim"
 )
 
 // CarFollowRow is one line of the car-following case-study table.
@@ -46,7 +47,7 @@ func CarFollowTable(n int, seed int64) ([]CarFollowRow, error) {
 		for _, d := range designs {
 			cfg := base
 			cfg.InfoFilter = d.info
-			rs, err := carfollow.RunMany(cfg, d.agent, n, seed)
+			rs, err := carfollow.RunCampaign(cfg, d.agent, n, sim.CampaignOptions{BaseSeed: seed})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: carfollow %s/%s: %w", s.Name, d.label, err)
 			}

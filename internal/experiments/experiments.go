@@ -174,7 +174,7 @@ func Table(kind PlannerKind, pl Planners, n int, seed int64) ([]TableRow, error)
 		stats := make([]eval.Stats, 3)
 		ags := agents(base.Scenario, p, base)
 		for i, ag := range ags {
-			rs, err := sim.RunMany(ag.Cfg, ag.Agent, n, seed)
+			rs, err := sim.RunCampaign(ag.Cfg, ag.Agent, n, sim.CampaignOptions{BaseSeed: seed})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%s: %w", s.Name, ag.Label, err)
 			}

@@ -54,7 +54,7 @@ func StreamTable(pl Planners, n int, seed int64) ([]StreamRow, error) {
 		for _, d := range designs {
 			cfg := base
 			cfg.InfoFilter = d.info
-			rs, err := sim.RunManyMulti(cfg, d.agent, n, seed)
+			rs, err := sim.RunMultiCampaign(cfg, d.agent, n, sim.CampaignOptions{BaseSeed: seed})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: stream %d/%s: %w", vehicles, d.label, err)
 			}

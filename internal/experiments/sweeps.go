@@ -25,7 +25,7 @@ func sweepAt(x float64, base sim.Config, pl Planners, kind PlannerKind, n int, s
 	pt := SweepPoint{X: x}
 	p := pl.Pick(kind)
 	for i, ag := range agents(base.Scenario, p, base) {
-		rs, err := sim.RunMany(ag.Cfg, ag.Agent, n, seed)
+		rs, err := sim.RunCampaign(ag.Cfg, ag.Agent, n, sim.CampaignOptions{BaseSeed: seed})
 		if err != nil {
 			return pt, fmt.Errorf("experiments: sweep x=%v %s: %w", x, ag.Label, err)
 		}

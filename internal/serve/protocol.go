@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"safeplan/internal/comms"
+	"safeplan/internal/sensor"
+	"safeplan/internal/sim"
+)
+
+// Protocol operations.  A client speaks line-delimited JSON over a plain
+// TCP connection: one Request per line in, one Response per line out.
+// Responses are written as sessions finish processing, so a client
+// pipelining requests for many sessions over one connection must match
+// responses by (SID, Op), not by arrival order.
+const (
+	// OpOpen admits a new session: a long-lived episode engine (a
+	// resumable Stepper) identified by SID.
+	OpOpen = "open"
+	// OpStep advances the session's engine by Steps control steps
+	// (default 1), fusing any streamed Msgs/Reads at the top of the first
+	// step.
+	OpStep = "step"
+	// OpClose finishes the session (mid-episode cancellation included)
+	// and releases its resources.
+	OpClose = "close"
+	// OpStats returns live server statistics; no session required.
+	OpStats = "stats"
+	// OpPing is a no-op liveness probe; no session required.
+	OpPing = "ping"
+)
+
+// Rejection reasons carried in Response.Reason when OK is false.  The
+// reason is machine-readable so clients can distinguish retryable
+// conditions (backpressure) from terminal ones (unknown session).
+const (
+	// ReasonSaturated: admission control — the server is at MaxSessions.
+	ReasonSaturated = "saturated"
+	// ReasonBackpressure: the session's bounded mailbox is full; the
+	// client is stepping faster than the shard drains.  Retryable.
+	ReasonBackpressure = "backpressure"
+	// ReasonUnknownSession: no live session with that SID (never opened,
+	// already closed, or reaped by the idle timeout).
+	ReasonUnknownSession = "unknown-session"
+	// ReasonDuplicateSession: OpOpen with a SID that is already live.
+	ReasonDuplicateSession = "duplicate-session"
+	// ReasonSessionClosed: the session was closed while this request
+	// waited in its mailbox.
+	ReasonSessionClosed = "session-closed"
+	// ReasonBadRequest: malformed JSON, unknown op, or invalid open
+	// parameters.
+	ReasonBadRequest = "bad-request"
+)
+
+// Scenario and design selectors accepted by OpOpen.
+const (
+	ScenarioLeftTurn  = "leftturn"  // single oncoming vehicle (default)
+	ScenarioMulti     = "multi"     // oncoming stream
+	ScenarioCarFollow = "carfollow" // distance-gap car following
+
+	PlannerConservative = "cons" // conservative expert κ_n (default)
+	PlannerAggressive   = "aggr" // aggressive expert κ_n
+
+	DesignPure     = "pure"     // κ_n alone, no safety layer
+	DesignBasic    = "basic"    // compound planner, no info filter
+	DesignUltimate = "ultimate" // compound planner + info filter (default)
+)
+
+// Request is one line of client input.
+type Request struct {
+	Op  string `json:"op"`
+	SID string `json:"sid,omitempty"`
+
+	// Open parameters (ignored by other ops).
+	Scenario string `json:"scenario,omitempty"` // leftturn | multi | carfollow
+	Planner  string `json:"planner,omitempty"`  // cons | aggr
+	Design   string `json:"design,omitempty"`   // pure | basic | ultimate
+	Seed     int64  `json:"seed,omitempty"`
+	Disturb  string `json:"disturb,omitempty"` // comms disturbance preset name
+
+	// Step parameters.  Steps is clamped to [1, MaxStepsPerRequest];
+	// Msgs/Reads are fused at the top of the first advanced step (the
+	// sim.StepInput event-injection contract).
+	Steps int              `json:"steps,omitempty"`
+	Msgs  []comms.Message  `json:"msgs,omitempty"`
+	Reads []sensor.Reading `json:"reads,omitempty"`
+}
+
+// ResultSummary condenses a finished episode's sim.Result for the wire
+// (the full Result carries the trace slice, which sessions never record).
+type ResultSummary struct {
+	Reached             bool    `json:"reached"`
+	ReachTime           float64 `json:"reach_time"`
+	Collided            bool    `json:"collided"`
+	Eta                 float64 `json:"eta"`
+	Steps               int     `json:"steps"`
+	EmergencySteps      int     `json:"emergency_steps"`
+	FusedIntervalMisses int     `json:"fused_interval_misses"`
+	SoundViolations     int     `json:"sound_violations"`
+}
+
+func summarize(r sim.Result) *ResultSummary {
+	return &ResultSummary{
+		Reached:             r.Reached,
+		ReachTime:           r.ReachTime,
+		Collided:            r.Collided,
+		Eta:                 r.Eta,
+		Steps:               r.Steps,
+		EmergencySteps:      r.EmergencySteps,
+		FusedIntervalMisses: r.FusedIntervalMisses,
+		SoundViolations:     r.SoundViolations,
+	}
+}
+
+// Response is one line of server output.
+type Response struct {
+	SID string `json:"sid,omitempty"`
+	Op  string `json:"op"`
+	OK  bool   `json:"ok"`
+
+	// Error is a human-readable message; Reason is the machine-readable
+	// rejection class.  Both empty when OK.
+	Error  string `json:"error,omitempty"`
+	Reason string `json:"reason,omitempty"`
+
+	// Step outcome (OpStep, and OpClose when the episode had finished).
+	T         float64 `json:"t,omitempty"`
+	Step      int     `json:"step,omitempty"`
+	Accel     float64 `json:"accel,omitempty"`
+	Emergency bool    `json:"emergency,omitempty"`
+	EgoP      float64 `json:"ego_p,omitempty"`
+	EgoV      float64 `json:"ego_v,omitempty"`
+	Done      bool    `json:"done,omitempty"`
+
+	// Result is attached once the episode terminates (terminal step or
+	// close).
+	Result *ResultSummary `json:"result,omitempty"`
+
+	// Stats is attached to OpStats responses.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+func reject(req Request, reason, msg string) Response {
+	return Response{SID: req.SID, Op: req.Op, OK: false, Reason: reason, Error: msg}
+}

@@ -1,0 +1,11 @@
+//go:build !race
+
+package serve
+
+// Native-speed soak: the ISSUE acceptance scale (≥10k concurrent
+// sessions) with a 20 ms p99 single-step SLO — engine steps are ~1 µs,
+// so the bound only leaves room for scheduler and GC interference.
+const (
+	soakDefaultSessions = 10000
+	soakStepSLO         = 20e6 // p99 step latency bound [ns]
+)

@@ -1,0 +1,11 @@
+//go:build race
+
+package serve
+
+// Under the race detector every engine step runs an order of magnitude
+// slower and the soak population would dominate `make check`; the
+// lifecycle coverage is identical, only the scale and SLO change.
+const (
+	soakDefaultSessions = 1000
+	soakStepSLO         = 200e6 // p99 step latency bound under -race [ns]
+)

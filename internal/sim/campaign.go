@@ -7,21 +7,25 @@ import (
 	"sync/atomic"
 
 	"safeplan/internal/core"
-	"safeplan/internal/telemetry"
 )
 
 // CampaignOptions selects campaign-level behaviour shared by the
-// left-turn, multi-vehicle, and car-following campaign runners.
+// left-turn, multi-vehicle, and car-following campaign runners.  It
+// embeds the per-episode Options, which the runners replicate for every
+// episode: the Collector and Invariants fields apply to each episode
+// (shared across workers, so both must be concurrency-safe/stateless —
+// which telemetry.Metrics and every shipped Invariant are), while the
+// embedded Seed, Trace, and Scratch fields are ignored — the campaign
+// seeds episode i with BaseSeed+i, never records traces, and manages one
+// arena per worker itself.
 type CampaignOptions struct {
+	Options
+
 	// BaseSeed seeds episode i with BaseSeed+i.
 	BaseSeed int64
 	// Workers bounds the number of concurrent episode goroutines; 0
 	// selects GOMAXPROCS.  Negative counts are rejected by the runners.
 	Workers int
-	// Collector receives telemetry from every episode plus campaign
-	// progress.  It is shared across workers and must be
-	// concurrency-safe.
-	Collector telemetry.Collector
 }
 
 func (o CampaignOptions) validate() error {
@@ -29,6 +33,20 @@ func (o CampaignOptions) validate() error {
 		return fmt.Errorf("sim: worker count %d must be >= 1 (0 selects GOMAXPROCS)", o.Workers)
 	}
 	return nil
+}
+
+// EpisodeOptions derives episode i's Options from the
+// embedded episode options: per-campaign seed pairing and per-worker
+// arenas override the corresponding embedded fields, and Trace stays off
+// (a campaign's worth of traces would defeat the allocation-free hot
+// path; run a single traced episode instead).  Exported for the sibling
+// scenario packages' campaign runners.
+func (o CampaignOptions) EpisodeOptions(i int, scratch *Scratch) Options {
+	epo := o.Options
+	epo.Seed = o.BaseSeed + int64(i)
+	epo.Trace = false
+	epo.Scratch = scratch
+	return epo
 }
 
 // RunCampaign simulates n episodes of agent under cfg with master seeds
@@ -55,7 +73,7 @@ func RunCampaign(cfg Config, agent core.Agent, n int, o CampaignOptions) ([]Resu
 	var done atomic.Int64
 	scratches := NewWorkerScratches(o.Workers, n)
 	ParallelForWorkersScoped(o.Workers, n, func(w, i int) {
-		results[i], errs[i] = Run(cfg, agent, Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector, Scratch: scratches[w]})
+		results[i], errs[i] = Run(cfg, agent, o.EpisodeOptions(i, scratches[w]))
 		if o.Collector != nil {
 			o.Collector.OnProgress(done.Add(1), int64(n))
 		}
@@ -66,15 +84,6 @@ func RunCampaign(cfg Config, agent core.Agent, n int, o CampaignOptions) ([]Resu
 		}
 	}
 	return results, nil
-}
-
-// RunMany simulates n episodes over seeds baseSeed…baseSeed+n−1 with one
-// goroutine per core and no telemetry.
-//
-// Deprecated: use RunCampaign, which adds the worker-count knob and a
-// telemetry collector.
-func RunMany(cfg Config, agent core.Agent, n int, baseSeed int64) ([]Result, error) {
-	return RunCampaign(cfg, agent, n, CampaignOptions{BaseSeed: baseSeed})
 }
 
 // ParallelForWorkers runs f(0) … f(n−1) across the given number of

@@ -97,12 +97,12 @@ func TestCampaignCollectorInvariance(t *testing.T) {
 	}
 }
 
-// TestRunManyMatchesRunCampaign pins the deprecated wrapper to its
-// replacement: both must return identical results for equal inputs.
-func TestRunManyMatchesRunCampaign(t *testing.T) {
+// TestRunCampaignDeterministic pins campaign determinism: two campaigns
+// over the same seeds must return identical results.
+func TestRunCampaignDeterministic(t *testing.T) {
 	cfg := disturbedConfig(t)
 	agent := core.NewUltimate(cfg.Scenario, planner.ConservativeExpert(cfg.Scenario))
-	a, err := RunMany(cfg, agent, detEpisodes, detSeed)
+	a, err := RunCampaign(cfg, agent, detEpisodes, CampaignOptions{BaseSeed: detSeed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,17 +111,17 @@ func TestRunManyMatchesRunCampaign(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(a, b) {
-		t.Fatal("RunMany diverged from RunCampaign")
+		t.Fatal("RunCampaign not deterministic across identical invocations")
 	}
 }
 
-// TestRunManyMultiMatchesRunMultiCampaign is the multi-vehicle twin.
-func TestRunManyMultiMatchesRunMultiCampaign(t *testing.T) {
+// TestRunMultiCampaignDeterministic is the multi-vehicle twin.
+func TestRunMultiCampaignDeterministic(t *testing.T) {
 	cfg := DefaultMultiConfig()
 	cfg.Config = disturbedConfig(t)
 	cfg.Horizon = 45
 	agent := core.NewMultiUltimate(cfg.Scenario, planner.ConservativeExpert(cfg.Scenario))
-	a, err := RunManyMulti(cfg, agent, detEpisodes, detSeed)
+	a, err := RunMultiCampaign(cfg, agent, detEpisodes, CampaignOptions{BaseSeed: detSeed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,6 +130,6 @@ func TestRunManyMultiMatchesRunMultiCampaign(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(a, b) {
-		t.Fatal("RunManyMulti diverged from RunMultiCampaign")
+		t.Fatal("RunMultiCampaign not deterministic across identical invocations")
 	}
 }

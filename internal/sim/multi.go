@@ -2,21 +2,17 @@ package sim
 
 import (
 	"fmt"
-	"sync/atomic"
-	"time"
-
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
 	"safeplan/internal/disturb"
 	"safeplan/internal/dynamics"
 	"safeplan/internal/fusion"
-	"safeplan/internal/guard"
 	"safeplan/internal/interval"
 	"safeplan/internal/leftturn"
-	"safeplan/internal/monitor"
 	"safeplan/internal/sensor"
 	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
+	"sync/atomic"
 )
 
 // MultiConfig extends Config with a stream of oncoming vehicles: vehicle i
@@ -78,238 +74,19 @@ type oncomingTrack struct {
 
 // RunMulti simulates one episode with a stream of oncoming vehicles.  The
 // episode ends at the first collision with any vehicle, when the ego
-// clears the zone, or at the horizon.
-func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (res Result, err error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-	if len(opts.Invariants) > 0 {
-		defer func() {
-			if err == nil {
-				err = CheckEpisodeInvariants(opts.Invariants, &res)
-			}
-		}()
-	}
-	horizon := cfg.Horizon
-	if horizon == 0 {
-		horizon = DefaultHorizon
-	}
-	sh := opts.Scratch
-	sh.Begin()
-	master := sh.RNG(opts.Seed)
-	initRng := sh.RNG(master.Int63())
-	sensDropRng := sh.RNG(master.Int63())
-
-	sc := cfg.Scenario
-	tracks := sh.trackSlice(cfg.Vehicles)
-	offset := 0.0
-	for i := range tracks {
-		tr := &tracks[i]
-		driver, err := sh.Driver(cfg.Driver, sh.RNG(master.Int63()))
-		if err != nil {
-			return Result{}, err
-		}
-		channel, err := sh.Channel(cfg.Comms, sh.RNG(master.Int63()))
-		if err != nil {
-			return Result{}, err
-		}
-		sens, err := sh.Sensor(cfg.Sensor, sh.RNG(master.Int63()))
-		if err != nil {
-			return Result{}, err
-		}
-		filt, err := sh.Fusion(fusion.Config{
-			Limits:    sc.Oncoming,
-			Sensor:    cfg.Sensor,
-			UseKalman: cfg.InfoFilter,
-			Replay:    cfg.InfoFilter && !cfg.NoReplay,
-		})
-		if err != nil {
-			return Result{}, err
-		}
-		s := sc.OncomingInit
-		if cfg.OncomingStartSpread > 0 {
-			s.P -= initRng.Float64() * cfg.OncomingStartSpread
-		}
-		if cfg.OncomingSpeedMax > 0 {
-			s.V = cfg.OncomingSpeedMin + initRng.Float64()*(cfg.OncomingSpeedMax-cfg.OncomingSpeedMin)
-		}
-		s.P -= offset
-		offset += cfg.SpacingDist + initRng.Float64()*cfg.SpacingJitter
-		filt.InitExact(0, s, 0)
-		*tr = oncomingTrack{state: s, driver: driver, channel: channel, sensor: sens, filter: filt}
-	}
-	// Sensor disturbance streams derive after every track's legacy streams
-	// so existing configurations keep their exact per-seed behaviour.
-	if cfg.SensorDisturb != nil {
-		for i := range tracks {
-			tracks[i].sensProc = cfg.SensorDisturb.NewSensor(sh.RNG(master.Int63()))
-		}
-	}
-	// Planner-fault streams derive last, under the same compatibility rule.
-	gs, err := NewGuardedStep(cfg.Guard, cfg.PlannerFault, sc.Ego, master)
+// clears the zone, or at the horizon.  Like Run it is a thin closed loop
+// over the resumable engine (here MultiStepper).
+func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, error) {
+	st, err := NewMultiStepper(cfg, agent, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	if gs != nil {
-		defer func() { res.Guard = gs.Stats() }()
-	}
-	// Safe-action envelope basis for the guard; see Run.
-	mon := monitor.New(sc)
-
-	ego := sc.EgoInit
-	msgTick := comms.MakeTicker(cfg.DtM)
-	msgTick.Due(0)
-	sensTick := comms.MakeTicker(cfg.DtS)
-	sensTick.Due(0)
-
-	coll := opts.Collector
-	defer ReportOutcome(coll, opts.Seed, &res)
-	dt := sc.DtC
-	maxSteps := int(horizon/dt) + 1
-	ks, ests := sh.knowledgeSlices(len(tracks))
-	msgBuf := sh.MsgBuf()
-
-	// Per-episode closures (see Run): built once, reading the loop
-	// variables through shared captures.
-	var t float64
-	plan := func() (float64, bool) { return agent.Accel(t, ego, ks) }
-	emerg := func() float64 { return sc.EmergencyAccel(ego) }
-	// Per-track envelopes intersect: the ego must satisfy every vehicle's
-	// commitment guard at once, exactly as the multi-vehicle compound
-	// resolves them (an empty intersection or any emergency verdict admits
-	// only κ_e).
-	env := func() (float64, float64, bool) {
-		lo, hi := sc.Ego.AMin, sc.Ego.AMax
-		for _, k := range ks {
-			o := mon.Assess(ego, sc.ConservativeWindow(k.Sound))
-			if o.Emergency {
-				return 0, 0, false
-			}
-			tlo, thi, ok := o.Envelope(sc.Ego)
-			if !ok {
-				return 0, 0, false
-			}
-			if tlo > lo {
-				lo = tlo
-			}
-			if thi < hi {
-				hi = thi
-			}
-		}
-		return lo, hi, lo <= hi
-	}
-
-	for step := 0; step < maxSteps; step++ {
-		t = float64(step) * dt
-
-		msgAt, msgDue := msgTick.Due(t)
-		sensAt, sensDue := sensTick.Due(t)
-		for i := range tracks {
-			tr := &tracks[i]
-			if msgDue {
-				tr.channel.Send(comms.Message{Sender: i + 1, T: msgAt, P: tr.state.P, V: tr.state.V, A: tr.accel})
-			}
-			msgBuf = tr.channel.PollAppend(t, msgBuf[:0])
-			for _, m := range msgBuf {
-				tr.filter.OnMessage(m)
-			}
-			if sensDue {
-				drop := cfg.SensorDropProb > 0 && sensDropRng.Float64() < cfg.SensorDropProb
-				var bias float64
-				if tr.sensProc != nil {
-					d := tr.sensProc.Next(sensAt)
-					drop = drop || d.Drop
-					bias = d.Bias
-				}
-				if !drop {
-					tr.filter.OnReading(tr.sensor.MeasureBiased(i+1, sensAt, tr.state, tr.accel, bias))
-				}
-			}
-			est := tr.filter.EstimateAt(t)
-			ests[i] = est
-			if !est.P.Contains(tr.state.P) || !est.V.Contains(tr.state.V) {
-				res.FusedIntervalMisses++
-			}
-			if !est.SoundP.Contains(tr.state.P) || !est.SoundV.Contains(tr.state.V) {
-				res.SoundViolations++
-			}
-			ks[i] = core.Knowledge{
-				Sound: leftturn.OncomingEstimate{
-					P: est.SoundP, V: est.SoundV,
-					PointP: est.PointP, PointV: est.PointV, A: est.A,
-				},
-				Fused: leftturn.OncomingEstimate{
-					P: est.P, V: est.V,
-					PointP: est.PointP, PointV: est.PointV, A: est.A,
-				},
-			}
-		}
-
-		var a0 float64
-		var emergency bool
-		var gres guard.StepResult
-		var start time.Time
-		if coll != nil {
-			start = time.Now()
-		}
-		if gs != nil {
-			a0, emergency, gres = gs.Step(t, plan, emerg, env)
-		} else {
-			a0, emergency = plan()
-		}
-		if coll != nil {
-			coll.OnStep(multiStepProbe(sc, t, emergency, ks, time.Since(start).Nanoseconds()))
-			if gs != nil {
-				gs.Report(coll, t, gres)
-			}
-		}
-		if emergency {
-			res.EmergencySteps++
-		}
-		if len(opts.Invariants) > 0 {
-			for i := range tracks {
-				tr := &tracks[i]
-				si := StepInfo{
-					T: t, Vehicle: i, Ego: ego, Other: tr.state, OtherA: tr.accel,
-					Est: ests[i], Accel: a0, Emergency: emergency,
-				}
-				if gs != nil {
-					gs.Annotate(&si, gres)
-				}
-				if ierr := CheckStepInvariants(opts.Invariants, si); ierr != nil {
-					return res, ierr
-				}
-			}
-		}
-
-		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)
-		for i := range tracks {
-			tr := &tracks[i]
-			var ba float64
-			if len(cfg.OncomingScript) > 0 {
-				ba = ScriptAccel(cfg.OncomingScript, step)
-			} else {
-				ba = tr.driver.Accel(t, tr.state)
-			}
-			tr.state, tr.accel = dynamics.Step(tr.state, ba, dt, sc.Oncoming)
-		}
-		res.Steps++
-
-		for i := range tracks {
-			if sc.Collision(ego, tracks[i].state) {
-				res.Collided = true
-				res.Eta = -1
-				return res, nil
-			}
-		}
-		if sc.ReachedTarget(ego) {
-			res.Reached = true
-			res.ReachTime = t + dt
-			res.Eta = 1 / res.ReachTime
-			return res, nil
+	for {
+		out, err := st.Step(StepInput{})
+		if err != nil || out.Done {
+			return st.Finish()
 		}
 	}
-	return res, nil
 }
 
 // multiStepProbe condenses the per-vehicle knowledge into one telemetry
@@ -352,7 +129,7 @@ func RunMultiCampaign(cfg MultiConfig, agent core.MultiAgent, n int, o CampaignO
 	var done atomic.Int64
 	scratches := NewWorkerScratches(o.Workers, n)
 	ParallelForWorkersScoped(o.Workers, n, func(w, i int) {
-		results[i], errs[i] = RunMulti(cfg, agent, Options{Seed: o.BaseSeed + int64(i), Collector: o.Collector, Scratch: scratches[w]})
+		results[i], errs[i] = RunMulti(cfg, agent, o.EpisodeOptions(i, scratches[w]))
 		if o.Collector != nil {
 			o.Collector.OnProgress(done.Add(1), int64(n))
 		}
@@ -363,12 +140,4 @@ func RunMultiCampaign(cfg MultiConfig, agent core.MultiAgent, n int, o CampaignO
 		}
 	}
 	return results, nil
-}
-
-// RunManyMulti is the campaign counterpart of RunMulti (seed-paired, one
-// goroutine per core, no telemetry).
-//
-// Deprecated: use RunMultiCampaign.
-func RunManyMulti(cfg MultiConfig, agent core.MultiAgent, n int, baseSeed int64) ([]Result, error) {
-	return RunMultiCampaign(cfg, agent, n, CampaignOptions{BaseSeed: baseSeed})
 }

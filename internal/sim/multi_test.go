@@ -103,9 +103,9 @@ func TestRunMultiSingleVehicleMatchesShape(t *testing.T) {
 	}
 }
 
-func TestRunManyMulti(t *testing.T) {
+func TestRunMultiCampaignPairsSeeds(t *testing.T) {
 	cfg := multiConfig()
-	rs, err := RunManyMulti(cfg, multiUltimate(cfg, true), 6, 50)
+	rs, err := RunMultiCampaign(cfg, multiUltimate(cfg, true), 6, CampaignOptions{BaseSeed: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestRunManyMulti(t *testing.T) {
 			t.Fatalf("episode %d differs from direct run", i)
 		}
 	}
-	if _, err := RunManyMulti(cfg, multiUltimate(cfg, true), 0, 0); err == nil {
+	if _, err := RunMultiCampaign(cfg, multiUltimate(cfg, true), 0, CampaignOptions{}); err == nil {
 		t.Fatal("zero episodes accepted")
 	}
 }

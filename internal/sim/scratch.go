@@ -52,6 +52,16 @@ type Scratch struct {
 	tracks []oncomingTrack
 	knows  []core.Knowledge
 	ests   []fusion.Estimate
+
+	// Pooled resumable engines.  A Stepper carries its own hot-path
+	// closures (built once, capturing only the stepper pointer), so
+	// reusing the object keeps repeat episodes allocation-free; the arena
+	// discipline is unchanged — one episode at a time per Scratch.
+	pooledStepper      *Stepper
+	pooledMultiStepper *MultiStepper
+	// extEngine is the same slot for sibling scenario packages
+	// (internal/carfollow), which sim cannot name without an import cycle.
+	extEngine any
 }
 
 // NewScratch returns an empty arena; components are created lazily on first
@@ -215,6 +225,48 @@ func (s *Scratch) MsgBuf() []comms.Message {
 		s.msgBuf = make([]comms.Message, 0, msgBufCap)
 	}
 	return s.msgBuf[:0]
+}
+
+// stepper returns the arena's pooled single-vehicle Stepper (allocated on
+// first use), or a fresh one on a nil receiver.  The caller resets it; the
+// previous episode's engine is invalidated, matching the one-episode-at-a-
+// time arena contract.
+func (s *Scratch) stepper() *Stepper {
+	if s == nil {
+		return &Stepper{}
+	}
+	if s.pooledStepper == nil {
+		s.pooledStepper = &Stepper{}
+	}
+	return s.pooledStepper
+}
+
+// multiStepper is the multi-vehicle twin of stepper.
+func (s *Scratch) multiStepper() *MultiStepper {
+	if s == nil {
+		return &MultiStepper{}
+	}
+	if s.pooledMultiStepper == nil {
+		s.pooledMultiStepper = &MultiStepper{}
+	}
+	return s.pooledMultiStepper
+}
+
+// ExtEngine returns the opaque pooled-engine slot for sibling scenario
+// packages (nil on a nil receiver or before the first SetExtEngine).
+func (s *Scratch) ExtEngine() any {
+	if s == nil {
+		return nil
+	}
+	return s.extEngine
+}
+
+// SetExtEngine stores a sibling scenario package's pooled engine; a no-op
+// on a nil receiver.
+func (s *Scratch) SetExtEngine(v any) {
+	if s != nil {
+		s.extEngine = v
+	}
 }
 
 // trackSlice returns a zeroed slice of n oncoming tracks for RunMulti.

@@ -8,17 +8,14 @@ package sim
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
 	"safeplan/internal/disturb"
 	"safeplan/internal/dynamics"
 	"safeplan/internal/faultinject"
-	"safeplan/internal/fusion"
 	"safeplan/internal/guard"
 	"safeplan/internal/leftturn"
-	"safeplan/internal/monitor"
 	"safeplan/internal/sensor"
 	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
@@ -303,254 +300,18 @@ func ReportOutcome(c telemetry.Collector, seed int64, r *Result) {
 }
 
 // Run simulates one episode of agent under cfg and returns its Result.
-func Run(cfg Config, agent core.Agent, opts Options) (res Result, err error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-	if len(opts.Invariants) > 0 {
-		defer func() {
-			if err == nil {
-				err = CheckEpisodeInvariants(opts.Invariants, &res)
-			}
-		}()
-	}
-	horizon := cfg.Horizon
-	if horizon == 0 {
-		horizon = DefaultHorizon
-	}
-	sh := opts.Scratch
-	sh.Begin()
-	master := sh.RNG(opts.Seed)
-	// Independent streams, seeded deterministically from the master.
-	driverRng := sh.RNG(master.Int63())
-	chanRng := sh.RNG(master.Int63())
-	sensRng := sh.RNG(master.Int63())
-	initRng := sh.RNG(master.Int63())
-	sensDropRng := sh.RNG(master.Int63())
-	// Disturbance streams derive last so legacy configurations keep their
-	// exact per-seed behaviour.
-	var sensProc disturb.SensorProcess
-	if cfg.SensorDisturb != nil {
-		sensProc = cfg.SensorDisturb.NewSensor(sh.RNG(master.Int63()))
-	}
-	// Planner-fault streams derive after the disturbance streams, under the
-	// same compatibility rule.
-	gs, err := NewGuardedStep(cfg.Guard, cfg.PlannerFault, cfg.Scenario.Ego, master)
+// It is a thin closed loop over the resumable Stepper engine: construct,
+// step to termination with no injected input, finalize.  The Stepper
+// parity tests pin this equivalence byte for byte.
+func Run(cfg Config, agent core.Agent, opts Options) (Result, error) {
+	st, err := NewStepper(cfg, agent, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	if gs != nil {
-		defer func() { res.Guard = gs.Stats() }()
-	}
-	// The guard validates executed commands against the monitor's
-	// safe-action envelope, recomputed from the sound estimate (the only
-	// basis with a soundness guarantee, regardless of any agent-side
-	// monitor ablation).
-	mon := monitor.New(cfg.Scenario)
-
-	driver, err := sh.Driver(cfg.Driver, driverRng)
-	if err != nil {
-		return Result{}, err
-	}
-	channel, err := sh.Channel(cfg.Comms, chanRng)
-	if err != nil {
-		return Result{}, err
-	}
-	sens, err := sh.Sensor(cfg.Sensor, sensRng)
-	if err != nil {
-		return Result{}, err
-	}
-	filt, err := sh.Fusion(fusion.Config{
-		Limits:    cfg.Scenario.Oncoming,
-		Sensor:    cfg.Sensor,
-		UseKalman: cfg.InfoFilter,
-		Replay:    cfg.InfoFilter && !cfg.NoReplay,
-	})
-	if err != nil {
-		return Result{}, err
-	}
-
-	sc := cfg.Scenario
-	ego := sc.EgoInit
-	onc := sc.OncomingInit
-	if cfg.OncomingStartSpread > 0 {
-		onc.P -= initRng.Float64() * cfg.OncomingStartSpread
-	}
-	if cfg.OncomingSpeedMax > 0 {
-		onc.V = cfg.OncomingSpeedMin + initRng.Float64()*(cfg.OncomingSpeedMax-cfg.OncomingSpeedMin)
-	}
-
-	// The scenario starts with a handshake broadcast: the initial oncoming
-	// state is known exactly (paper §IV assumes C0 obtains p1, v1; all
-	// later knowledge flows through the disturbed channel and sensors).
-	filt.InitExact(0, onc, 0)
-
-	msgTick := comms.MakeTicker(cfg.DtM)
-	msgTick.Due(0) // initial broadcast consumed by InitExact
-	sensTick := comms.MakeTicker(cfg.DtS)
-	sensTick.Due(0)
-
-	var oncA float64
-	var lastMeas sensor.Reading
-	var haveMeas bool
-	msgBuf := sh.MsgBuf()
-
-	coll := opts.Collector
-	defer ReportOutcome(coll, opts.Seed, &res)
-
-	// The planner/envelope closures are built once per episode, before the
-	// loop; they read the loop variables below through the shared captures,
-	// so the hot path allocates no per-step closures.
-	var t float64
-	var know core.Knowledge
-	plan := func() (float64, bool) { return agent.Accel(t, ego, know) }
-	emerg := func() float64 { return sc.EmergencyAccel(ego) }
-	env := func() (float64, float64, bool) {
-		return mon.Assess(ego, sc.ConservativeWindow(know.Sound)).Envelope(sc.Ego)
-	}
-
-	dt := sc.DtC
-	maxSteps := int(horizon/dt) + 1
-	for step := 0; step < maxSteps; step++ {
-		t = float64(step) * dt
-
-		// 1. Periodic V2V broadcast of C1's current state.
-		if at, ok := msgTick.Due(t); ok {
-			channel.Send(comms.Message{Sender: 1, T: at, P: onc.P, V: onc.V, A: oncA})
-		}
-		// 2. Deliver whatever the channel releases at this instant.
-		msgBuf = channel.PollAppend(t, msgBuf[:0])
-		for _, m := range msgBuf {
-			filt.OnMessage(m)
-		}
-		// 3. Periodic onboard sensing (subject to injected dropout and
-		// the sensor disturbance model).
-		if at, ok := sensTick.Due(t); ok {
-			drop := cfg.SensorDropProb > 0 && sensDropRng.Float64() < cfg.SensorDropProb
-			var bias float64
-			if sensProc != nil {
-				d := sensProc.Next(at)
-				drop = drop || d.Drop
-				bias = d.Bias
-			}
-			if !drop {
-				lastMeas = sens.MeasureBiased(1, at, onc, oncA, bias)
-				haveMeas = true
-				filt.OnReading(lastMeas)
-			}
-		}
-
-		// 4. Fuse and plan.
-		est := filt.EstimateAt(t)
-		if !est.P.Contains(onc.P) || !est.V.Contains(onc.V) {
-			res.FusedIntervalMisses++
-		}
-		if !est.SoundP.Contains(onc.P) || !est.SoundV.Contains(onc.V) {
-			res.SoundViolations++
-		}
-		know = core.Knowledge{
-			Sound: leftturn.OncomingEstimate{
-				P: est.SoundP, V: est.SoundV,
-				PointP: est.PointP, PointV: est.PointV,
-				A: est.A,
-			},
-			Fused: leftturn.OncomingEstimate{
-				P: est.P, V: est.V,
-				PointP: est.PointP, PointV: est.PointV,
-				A: est.A,
-			},
-		}
-		var a0 float64
-		var emergency bool
-		var gres guard.StepResult
-		var start time.Time
-		if coll != nil {
-			start = time.Now()
-		}
-		if gs != nil {
-			a0, emergency, gres = gs.Step(t, plan, emerg, env)
-		} else {
-			a0, emergency = plan()
-		}
-		if coll != nil {
-			coll.OnStep(telemetry.StepProbe{
-				T:          t,
-				Emergency:  emergency,
-				SoundWidth: est.SoundP.Width(),
-				FusedWidth: est.P.Width(),
-				ConsWidth:  sc.ConservativeWindow(know.Fused).Width(),
-				AggrWidth:  sc.AggressiveWindow(know.Fused).Width(),
-				PlannerNs:  time.Since(start).Nanoseconds(),
-			})
-			if gs != nil {
-				gs.Report(coll, t, gres)
-			}
-		}
-		if emergency {
-			res.EmergencySteps++
-		}
-		if len(opts.Invariants) > 0 {
-			si := StepInfo{
-				T: t, Ego: ego, Other: onc, OtherA: oncA,
-				Est: est, Accel: a0, Emergency: emergency,
-			}
-			if gs != nil {
-				gs.Annotate(&si, gres)
-			}
-			if ierr := CheckStepInvariants(opts.Invariants, si); ierr != nil {
-				return res, ierr
-			}
-		}
-
-		if opts.Trace {
-			cons := sc.ConservativeWindow(know.Fused)
-			aggr := sc.AggressiveWindow(know.Fused)
-			soundW := sc.ConservativeWindow(know.Sound)
-			s := Sample{
-				T:    t,
-				EgoP: ego.P, EgoV: ego.V, EgoA: a0,
-				OncP: onc.P, OncV: onc.V, OncA: oncA,
-				MeasP: math.NaN(), MeasV: math.NaN(),
-				EstP: est.PointP, EstV: est.PointV,
-				EstPLo: est.P.Lo, EstPHi: est.P.Hi,
-				EstVLo: est.V.Lo, EstVHi: est.V.Hi,
-				ConsLo: cons.Lo, ConsHi: cons.Hi,
-				AggrLo: aggr.Lo, AggrHi: aggr.Hi,
-				SoundPLo: est.SoundP.Lo, SoundPHi: est.SoundP.Hi,
-				SoundVLo: est.SoundV.Lo, SoundVHi: est.SoundV.Hi,
-				SoundLo: soundW.Lo, SoundHi: soundW.Hi,
-				Emergency: emergency,
-			}
-			if haveMeas {
-				s.MeasP, s.MeasV = lastMeas.P, lastMeas.V
-			}
-			res.Trace = append(res.Trace, s)
-		}
-
-		// 5. Advance the world.
-		var behavA float64
-		if len(cfg.OncomingScript) > 0 {
-			behavA = ScriptAccel(cfg.OncomingScript, step)
-		} else {
-			behavA = driver.Accel(t, onc)
-		}
-		ego, _ = dynamics.Step(ego, a0, dt, sc.Ego)
-		onc, oncA = dynamics.Step(onc, behavA, dt, sc.Oncoming)
-		res.Steps++
-
-		// 6. Outcome checks.
-		if sc.Collision(ego, onc) {
-			res.Collided = true
-			res.Eta = -1
-			return res, nil
-		}
-		if sc.ReachedTarget(ego) {
-			res.Reached = true
-			res.ReachTime = t + dt
-			res.Eta = 1 / res.ReachTime
-			return res, nil
+	for {
+		out, err := st.Step(StepInput{})
+		if err != nil || out.Done {
+			return st.Finish()
 		}
 	}
-	// Timeout: neither target nor violation — η = 0.
-	return res, nil
 }

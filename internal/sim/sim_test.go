@@ -194,9 +194,9 @@ func TestEmergencyFrequency(t *testing.T) {
 	}
 }
 
-func TestRunManyPairsSeeds(t *testing.T) {
+func TestRunCampaignPairsSeeds(t *testing.T) {
 	cfg := baseConfig()
-	rs, err := RunMany(cfg, consAgent(cfg), 8, 100)
+	rs, err := RunCampaign(cfg, consAgent(cfg), 8, CampaignOptions{BaseSeed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,13 +215,13 @@ func TestRunManyPairsSeeds(t *testing.T) {
 	}
 }
 
-func TestRunManyRejects(t *testing.T) {
+func TestRunCampaignRejects(t *testing.T) {
 	cfg := baseConfig()
-	if _, err := RunMany(cfg, consAgent(cfg), 0, 1); err == nil {
+	if _, err := RunCampaign(cfg, consAgent(cfg), 0, CampaignOptions{BaseSeed: 1}); err == nil {
 		t.Fatal("zero episodes accepted")
 	}
 	cfg.DtM = 0
-	if _, err := RunMany(cfg, consAgent(cfg), 1, 1); err == nil {
+	if _, err := RunCampaign(cfg, consAgent(cfg), 1, CampaignOptions{BaseSeed: 1}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }

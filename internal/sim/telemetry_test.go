@@ -21,7 +21,7 @@ func TestRunCampaignCollector(t *testing.T) {
 	agent.SetCollector(m)
 
 	const n = 64
-	rs, err := RunCampaign(cfg, agent, n, CampaignOptions{BaseSeed: 100, Collector: m})
+	rs, err := RunCampaign(cfg, agent, n, CampaignOptions{Options: Options{Collector: m}, BaseSeed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestRunMultiCampaignCollector(t *testing.T) {
 	m := telemetry.NewMetrics()
 	agent.SetCollector(m)
 
-	rs, err := RunMultiCampaign(cfg, agent, 8, CampaignOptions{BaseSeed: 3, Collector: m})
+	rs, err := RunMultiCampaign(cfg, agent, 8, CampaignOptions{Options: Options{Collector: m}, BaseSeed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

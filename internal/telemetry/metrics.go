@@ -190,12 +190,6 @@ type Snapshot struct {
 	// FusedIntervalMisses counts fused-interval misses (expected Kalman
 	// sharpening error, not a safety defect).
 	FusedIntervalMisses int64 `json:"fused_interval_misses"`
-	// SoundnessViolations mirrors FusedIntervalMisses under the counter's
-	// old (misleading) name.
-	//
-	// Deprecated: kept as a JSON alias for one release; read
-	// FusedIntervalMisses instead.
-	SoundnessViolations int64 `json:"soundness_violations"`
 	// SoundViolations counts genuine soundness-contract violations; 0 in
 	// every correct configuration.
 	SoundViolations int64 `json:"sound_violations"`
@@ -237,7 +231,6 @@ func (m *Metrics) Snapshot() Snapshot {
 		Steps:               m.steps.Load(),
 		EmergencySteps:      m.emergency.Load(),
 		FusedIntervalMisses: m.fusedMiss.Load(),
-		SoundnessViolations: m.fusedMiss.Load(),
 		SoundViolations:     m.soundViol.Load(),
 		SoundWidth:          m.soundWidth.Snapshot(),
 		FusedWidth:          m.fusedWidth.Snapshot(),

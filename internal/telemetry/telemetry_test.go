@@ -71,9 +71,6 @@ func TestMetricsCounters(t *testing.T) {
 	if s.FusedIntervalMisses != 1 {
 		t.Errorf("fused interval misses = %d", s.FusedIntervalMisses)
 	}
-	if s.SoundnessViolations != s.FusedIntervalMisses {
-		t.Errorf("deprecated alias %d != fused misses %d", s.SoundnessViolations, s.FusedIntervalMisses)
-	}
 	if s.SoundViolations != 0 {
 		t.Errorf("sound violations = %d", s.SoundViolations)
 	}

@@ -8,31 +8,32 @@ import (
 	"testing"
 )
 
-// TestWithTraceMatchesLegacy proves the options form reproduces the
-// legacy traced entry point byte-for-byte on a fixed seed.
-func TestWithTraceMatchesLegacy(t *testing.T) {
+// TestWithTraceDeterminism proves the traced options form is
+// seed-deterministic byte-for-byte: two runs with the same seed produce
+// identical results, including the full per-step trace.
+func TestWithTraceDeterminism(t *testing.T) {
 	sc := DefaultScenario()
 	cfg := DefaultSimConfig()
 	cfg.Comms = DelayedComms(0.25, 0.3)
 	cfg.InfoFilter = true
 	agent := BuildUltimate(sc, NewConservativeExpert(sc))
 
-	legacy, err := RunEpisodeTraced(cfg, agent, 42)
+	a, err := RunEpisode(cfg, agent, 42, WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := RunEpisode(cfg, agent, 42, WithTrace())
+	b, err := RunEpisode(cfg, agent, 42, WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// %#v is a deterministic full serialization and, unlike JSON, survives
 	// the NaN window bounds recorded on steps with no feasible window.
-	lb := []byte(fmt.Sprintf("%#v", legacy))
-	ob := []byte(fmt.Sprintf("%#v", opt))
-	if !bytes.Equal(lb, ob) {
-		t.Fatalf("WithTrace() diverges from RunEpisodeTraced:\nlegacy: %s\noption: %s", lb, ob)
+	ab := []byte(fmt.Sprintf("%#v", a))
+	bb := []byte(fmt.Sprintf("%#v", b))
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("traced episode not seed-deterministic:\nfirst:  %s\nsecond: %s", ab, bb)
 	}
-	if len(opt.Trace) == 0 {
+	if len(a.Trace) == 0 {
 		t.Fatal("no trace recorded")
 	}
 }
@@ -170,25 +171,6 @@ func TestCarFollowCollectorAndTrace(t *testing.T) {
 	}
 	if decisions != s.Steps {
 		t.Errorf("monitor decisions %d != steps %d", decisions, s.Steps)
-	}
-}
-
-// TestLegacyAliasesDelegate pins the deprecated names to the options
-// implementation: same seed, same result.
-func TestLegacyAliasesDelegate(t *testing.T) {
-	sc := DefaultScenario()
-	cfg := DefaultSimConfig()
-	agent := BuildBasic(sc, NewConservativeExpert(sc))
-	a, err := RunEpisode(cfg, agent, 9)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := RunEpisodeTraced(cfg, agent, 9)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Eta != b.Eta || a.Steps != b.Steps || a.Reached != b.Reached {
-		t.Fatalf("traced alias diverges: %+v vs %+v", a, b)
 	}
 }
 

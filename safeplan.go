@@ -42,6 +42,7 @@ import (
 	"safeplan/internal/leftturn"
 	"safeplan/internal/planner"
 	"safeplan/internal/sensor"
+	"safeplan/internal/serve"
 	"safeplan/internal/sim"
 	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
@@ -91,8 +92,13 @@ type (
 
 	// CommsConfig describes the V2V channel disturbance.
 	CommsConfig = comms.Config
+	// Message is one V2V state report (the StepInput injection unit).
+	Message = comms.Message
 	// SensorConfig holds the uniform sensor noise half-widths.
 	SensorConfig = sensor.Config
+	// SensorReading is one onboard measurement (the StepInput injection
+	// unit for sensed state).
+	SensorReading = sensor.Reading
 	// DriverConfig shapes the oncoming vehicle's random behaviour.
 	DriverConfig = traffic.DriverConfig
 
@@ -453,13 +459,6 @@ func RunEpisode(cfg SimConfig, agent Agent, seed int64, opts ...RunOption) (Epis
 	return r, wrapErr(err)
 }
 
-// RunEpisodeTraced simulates one episode and records the per-step trace.
-//
-// Deprecated: use RunEpisode(cfg, agent, seed, WithTrace()).
-func RunEpisodeTraced(cfg SimConfig, agent Agent, seed int64) (EpisodeResult, error) {
-	return RunEpisode(cfg, agent, seed, WithTrace())
-}
-
 // RunCampaign simulates n episodes over seeds baseSeed…baseSeed+n−1 in
 // parallel and aggregates the paper's statistics.  Options select
 // campaign behaviour: WithCollector attaches a shared telemetry collector
@@ -473,9 +472,9 @@ func RunCampaign(cfg SimConfig, agent Agent, n int, baseSeed int64, opts ...RunO
 	s.attach(agent)
 	s.applySim(&cfg)
 	rs, err := sim.RunCampaign(cfg, agent, n, sim.CampaignOptions{
-		BaseSeed:  baseSeed,
-		Workers:   s.workers,
-		Collector: s.collector,
+		Options:  sim.Options{Collector: s.collector},
+		BaseSeed: baseSeed,
+		Workers:  s.workers,
 	})
 	if err != nil {
 		return CampaignStats{}, wrapErr(err)
@@ -656,9 +655,9 @@ func RunMultiCampaign(cfg MultiSimConfig, agent MultiAgent, n int, baseSeed int6
 	s.attach(agent)
 	s.applySim(&cfg.Config)
 	rs, err := sim.RunMultiCampaign(cfg, agent, n, sim.CampaignOptions{
-		BaseSeed:  baseSeed,
-		Workers:   s.workers,
-		Collector: s.collector,
+		Options:  sim.Options{Collector: s.collector},
+		BaseSeed: baseSeed,
+		Workers:  s.workers,
 	})
 	if err != nil {
 		return CampaignStats{}, wrapErr(err)
@@ -734,12 +733,95 @@ func RunCarFollowCampaign(cfg CarFollowSimConfig, agent CarFollowAgent, n int, b
 	s.attach(agent)
 	s.applyCarFollow(&cfg)
 	rs, err := carfollow.RunCampaign(cfg, agent, n, sim.CampaignOptions{
-		BaseSeed:  baseSeed,
-		Workers:   s.workers,
-		Collector: s.collector,
+		Options:  sim.Options{Collector: s.collector},
+		BaseSeed: baseSeed,
+		Workers:  s.workers,
 	})
 	if err != nil {
 		return CampaignStats{}, wrapErr(err)
 	}
 	return eval.Aggregate(rs), nil
+}
+
+// Session API: the closed Run* loops above are thin wrappers over
+// resumable stepper engines that keep every piece of episode state —
+// channel, filters, guard state machine, RNG streams — inside one object,
+// so a caller (a streaming server, an interactive tool, a co-simulation)
+// can drive episodes one control step at a time and inject externally
+// streamed V2V messages and sensor readings between steps.  The serve
+// vocabulary hosts many such engines as concurrent network sessions; see
+// cmd/serve for the daemon and load generator.
+type (
+	// Stepper is the resumable left-turn episode engine.
+	Stepper = sim.Stepper
+	// MultiStepper is the resumable oncoming-stream episode engine.
+	MultiStepper = sim.MultiStepper
+	// CarFollowStepper is the resumable car-following episode engine.
+	CarFollowStepper = carfollow.Stepper
+	// StepInput carries externally streamed events into one engine step.
+	StepInput = sim.StepInput
+	// StepOutcome reports one engine step's observable state.
+	StepOutcome = sim.StepOutcome
+
+	// ServeConfig tunes the streaming session server (shards, admission
+	// cap, mailbox bound, idle timeout).
+	ServeConfig = serve.Config
+	// Server hosts concurrent planner sessions over line-delimited JSON
+	// and doubles as the /metrics + /healthz http.Handler.
+	Server = serve.Server
+	// ServerStats is the server's point-in-time counter snapshot.
+	ServerStats = serve.Stats
+	// SessionRequest is one line of the session protocol's client input.
+	SessionRequest = serve.Request
+	// SessionResponse is one line of the session protocol's server output.
+	SessionResponse = serve.Response
+	// SessionResult is the wire summary of a finished episode.
+	SessionResult = serve.ResultSummary
+)
+
+// NewStepper builds a resumable left-turn episode engine.  It accepts the
+// same options as RunEpisode; drive it with Step and settle it with
+// Finish (mid-episode Finish yields the partial result).
+func NewStepper(cfg SimConfig, agent Agent, seed int64, opts ...RunOption) (*Stepper, error) {
+	s, err := applySettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.attach(agent)
+	s.applySim(&cfg)
+	st, err := sim.NewStepper(cfg, agent, sim.Options{Seed: seed, Trace: s.trace, Collector: s.collector})
+	return st, wrapErr(err)
+}
+
+// NewMultiStepper builds a resumable oncoming-stream episode engine.
+func NewMultiStepper(cfg MultiSimConfig, agent MultiAgent, seed int64, opts ...RunOption) (*MultiStepper, error) {
+	s, err := applySettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.attach(agent)
+	s.applySim(&cfg.Config)
+	st, err := sim.NewMultiStepper(cfg, agent, sim.Options{Seed: seed, Trace: s.trace, Collector: s.collector})
+	return st, wrapErr(err)
+}
+
+// NewCarFollowStepper builds a resumable car-following episode engine.
+func NewCarFollowStepper(cfg CarFollowSimConfig, agent CarFollowAgent, seed int64, opts ...RunOption) (*CarFollowStepper, error) {
+	s, err := applySettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.attach(agent)
+	s.applyCarFollow(&cfg)
+	st, err := carfollow.NewStepper(cfg, agent, sim.Options{Seed: seed, Trace: s.trace, Collector: s.collector})
+	return st, wrapErr(err)
+}
+
+// NewServer builds a streaming session server and starts its shard
+// workers; call Serve (or ListenAndServe) to accept the session protocol,
+// mount the Server on an http.Server for /metrics and /healthz, and Close
+// to release it.
+func NewServer(cfg ServeConfig) (*Server, error) {
+	srv, err := serve.New(cfg)
+	return srv, wrapErr(err)
 }

@@ -64,10 +64,10 @@ func TestPureVsCompoundSafety(t *testing.T) {
 	}
 }
 
-func TestRunEpisodeTraced(t *testing.T) {
+func TestRunEpisodeWithTrace(t *testing.T) {
 	sc := DefaultScenario()
 	cfg := DefaultSimConfig()
-	r, err := RunEpisodeTraced(cfg, BuildPure(sc, NewConservativeExpert(sc)), 2)
+	r, err := RunEpisode(cfg, BuildPure(sc, NewConservativeExpert(sc)), 2, WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
