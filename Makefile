@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-campaign bench-seed bench-guard bench-perf campaign-smoke guard-smoke alloc-gate serve-smoke golden fuzz-smoke lint-extra
+.PHONY: build test check bench bench-batch bench-campaign bench-seed bench-guard bench-perf campaign-smoke guard-smoke alloc-gate serve-smoke golden fuzz-smoke lint-extra
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCompoundSafety -fuzztime 20s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzCarFollowSafety -fuzztime 20s ./internal/carfollow
 	$(GO) test -run '^$$' -fuzz FuzzGuardedPlanner -fuzztime 20s ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzBatchParity -fuzztime 20s ./internal/sim/batch
 
 # Optional linters plus the in-tree determinism hygiene check: no global
 # math/rand calls and no new time.Now in the stepping packages (see
@@ -40,10 +41,13 @@ lint-extra:
 	@command -v govulncheck >/dev/null 2>&1 && govulncheck ./... || echo "govulncheck not installed; skipping"
 
 # Allocation-regression gate: a warmed scratch arena must keep the episode
-# hot path allocation-free (budget in internal/sim/alloc_test.go), and the
-# arena path must stay bit-identical to the allocate-per-episode path.
+# hot path allocation-free (budget in internal/sim/alloc_test.go), the
+# arena path must stay bit-identical to the allocate-per-episode path, and
+# the lockstep batch engine must amortize below the scalar 1 alloc/episode
+# bar at width 8 (internal/sim/batch/alloc_test.go).
 alloc-gate:
 	$(GO) test -run 'TestEpisodeAllocs|TestMultiEpisodeAllocs|TestScratchParity' ./internal/sim -v
+	$(GO) test -run TestBatchEpisodeAllocs ./internal/sim/batch -v
 
 # Serving CI gate: a short soak (500 concurrent sessions stepped to
 # termination under the burst preset) asserting the p99 step-latency SLO,
@@ -61,6 +65,12 @@ bench:
 # outcome rates, and the parallel-speedup probe.
 bench-campaign:
 	$(GO) run ./cmd/bench -out BENCH_campaign.json
+
+# Full canonical matrix through the lockstep batch engine (8 lanes per
+# group): statistics are bit-identical to bench-campaign, only the
+# throughput numbers move.  Writes BENCH_batch.json for comparison.
+bench-batch:
+	$(GO) run ./cmd/bench -batch 8 -out BENCH_batch.json
 
 # Small stable snapshot (committed as BENCH_seed.json) for regression
 # comparison across machines and revisions.

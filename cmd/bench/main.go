@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bench [-episodes 5000] [-workers 0] [-seed 42] [-out BENCH_campaign.json]
-//	      [-quick] [-smoke] [-guard] [-checkpoint DIR]
+//	      [-quick] [-smoke] [-guard] [-batch N] [-checkpoint DIR]
 //
 // The default matrix covers the paper's three communication settings (none,
 // delayed, lost) for both expert planners under the ultimate compound
@@ -24,6 +24,11 @@
 // guard's own CI gate: the acceptance worst cases (PanicP and NaNOutput at
 // p = 0.5) over 10k episodes each with the containment checkers in fail
 // mode.
+// -batch N steps the canonical left-turn matrix through the lockstep
+// batch engine (internal/sim/batch) with N lanes per group instead of the
+// scalar episode loop.  Every lane is byte-identical to its scalar
+// episode and the fold order is unchanged, so the report's stats match
+// the scalar run bit for bit — only the throughput numbers move.
 // -checkpoint enables per-campaign checkpoint/resume in the given
 // directory: an interrupted bench rerun resumes completed shards instead
 // of redoing them.  A corrupt checkpoint file is discarded with a warning
@@ -72,6 +77,9 @@ type benchReport struct {
 	EpisodesPerCampaign int   `json:"episodes_per_campaign"`
 	BaseSeed            int64 `json:"base_seed"`
 	Workers             int   `json:"workers"`
+	// BatchSize is the lockstep lane count when the matrix ran through the
+	// batched engine (-batch); omitted for the scalar episode loop.
+	BatchSize int `json:"batch_size,omitempty"`
 
 	// Speedup compares 1-worker and full-worker throughput on the first
 	// campaign of the matrix (omitted when running with a single worker).
@@ -99,6 +107,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "small matrix for regression snapshots (500 episodes unless -episodes is set)")
 		smoke      = flag.Bool("smoke", false, "CI safety gate: one 10k-episode campaign, invariants in fail mode")
 		guardMode  = flag.Bool("guard", false, "compute-fault matrix: one campaign per planner-fault preset under the guarded design")
+		batchSize  = flag.Int("batch", 0, "lockstep batch width for the left-turn matrix (0 or 1: scalar episode loop)")
 		checkpoint = flag.String("checkpoint", "", "directory for per-campaign checkpoints (enables resume)")
 		perfMode   = flag.Bool("perf", false, "allocation/latency matrix: ns/step, B/op, allocs/op per scenario, scratch off vs on (BENCH_perf.json)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -179,6 +188,9 @@ func main() {
 		BaseSeed:            *seed,
 		Workers:             w,
 	}
+	if *batchSize > 1 {
+		report.BatchSize = *batchSize
+	}
 
 	matrix := canonicalMatrix(*quick)
 	for i, wl := range matrix {
@@ -187,13 +199,14 @@ func main() {
 			Episodes:        n,
 			BaseSeed:        *seed,
 			Workers:         w,
+			BatchSize:       *batchSize,
 			Invariants:      invariantSet(wl.cfg),
 			CountViolations: true,
 		}
 		if *checkpoint != "" {
 			spec.CheckpointPath = filepath.Join(*checkpoint, sanitize(wl.name)+".json")
 		}
-		rep, err := runCampaign(spec, campaign.LeftTurn(wl.cfg, wl.agent))
+		rep, err := runCampaign(spec, wl)
 		if err != nil {
 			log.Fatalf("campaign %s: %v", wl.name, err)
 		}
@@ -206,7 +219,7 @@ func main() {
 		if i == 0 && w > 1 {
 			spec.CheckpointPath = "" // never resume the probe
 			spec.Workers = 1
-			base, err := campaign.Run(spec, campaign.LeftTurn(wl.cfg, wl.agent))
+			base, err := runWorkload(spec, wl)
 			if err != nil {
 				log.Fatalf("campaign %s (1 worker): %v", wl.name, err)
 			}
@@ -236,19 +249,30 @@ func main() {
 	log.Printf("wrote %s (%d campaigns)", *out, len(report.Campaigns))
 }
 
+// runWorkload dispatches one left-turn workload to the scalar or the
+// lockstep batched campaign engine, keyed on Spec.BatchSize.  Both
+// produce bit-identical Stats (the batch parity suite asserts this);
+// only the execution shape differs.
+func runWorkload(spec campaign.Spec, wl workload) (*campaign.Report, error) {
+	if spec.BatchSize > 1 {
+		return campaign.RunBatch(spec, campaign.LeftTurnBatch(wl.cfg, wl.agent))
+	}
+	return campaign.Run(spec, campaign.LeftTurn(wl.cfg, wl.agent))
+}
+
 // runCampaign executes a spec, degrading gracefully when its checkpoint
 // file is corrupt (truncated, bit-flipped, version-skewed): the file is
 // discarded with a warning and the campaign restarts fresh.  A
 // *fingerprint* mismatch still fails — that checkpoint belongs to a
 // different campaign and discarding it would hide the caller's mistake.
-func runCampaign(spec campaign.Spec, ep campaign.EpisodeFunc) (*campaign.Report, error) {
-	rep, err := campaign.Run(spec, ep)
+func runCampaign(spec campaign.Spec, wl workload) (*campaign.Report, error) {
+	rep, err := runWorkload(spec, wl)
 	if err != nil && spec.CheckpointPath != "" && errors.Is(err, campaign.ErrCorruptCheckpoint) {
 		log.Printf("WARNING: %v — discarding and restarting fresh", err)
 		if rmErr := os.Remove(spec.CheckpointPath); rmErr != nil && !os.IsNotExist(rmErr) {
 			return nil, rmErr
 		}
-		rep, err = campaign.Run(spec, ep)
+		rep, err = runWorkload(spec, wl)
 	}
 	return rep, err
 }
@@ -433,7 +457,7 @@ func runGuardMatrix(n, w int, seed int64, out, checkpoint string) {
 		if checkpoint != "" {
 			spec.CheckpointPath = filepath.Join(checkpoint, sanitize(spec.Name)+".json")
 		}
-		rep, err := runCampaign(spec, campaign.LeftTurn(cfg, agent))
+		rep, err := runCampaign(spec, workload{name: spec.Name, cfg: cfg, agent: agent})
 		if err != nil {
 			log.Fatalf("campaign %s: %v", spec.Name, err)
 		}

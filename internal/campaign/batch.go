@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"safeplan/internal/core"
+	"safeplan/internal/sim"
+	"safeplan/internal/sim/batch"
+)
+
+// BatchFunc runs one group of episodes through a lockstep engine, one lane
+// per seed, returning results in seed order.  The campaign runner fills in
+// Collector, Invariants, and Scratch (Options.Seed is unused — seeds come
+// from the slice).  Results need only stay valid until the next call with
+// the same scratch arena; the runner folds them before reusing it.
+type BatchFunc func(seeds []int64, opts sim.Options) ([]sim.Result, error)
+
+// LeftTurnBatch adapts the batched left-turn engine (internal/sim/batch).
+// The agent is shared across workers and must be stateless across
+// episodes, exactly as with LeftTurn.
+func LeftTurnBatch(cfg sim.Config, agent core.Agent) BatchFunc {
+	return func(seeds []int64, opts sim.Options) ([]sim.Result, error) {
+		return batch.Run(cfg, agent, seeds, opts)
+	}
+}
+
+// batchBody is RunBatch's shard loop: it walks the shard's episode range in
+// groups of Spec.BatchSize lanes, runs each group through the lockstep
+// engine, and folds the results in episode order — the same fold order as
+// the scalar loop, so the Chan/Welford aggregates are bit-identical for
+// any batch size.
+func batchBody(spec Spec, run BatchFunc) shardBody {
+	size := spec.BatchSize
+	if size <= 0 {
+		size = 1
+	}
+	return func(ctx *shardCtx, lo, hi int) (int64, error) {
+		seeds := make([]int64, 0, size)
+		for e := lo; e < hi; e += size {
+			if ctx.aborted() {
+				return 0, nil
+			}
+			n := min(size, hi-e)
+			seeds = seeds[:0]
+			for j := 0; j < n; j++ {
+				seeds = append(seeds, spec.BaseSeed+int64(e+j))
+			}
+			t0 := time.Now()
+			results, err := run(seeds, sim.Options{
+				Collector:  spec.Collector,
+				Invariants: ctx.invs,
+				Scratch:    ctx.scratch,
+			})
+			if err != nil {
+				// The engine names the failing lane; surface its seed so
+				// the campaign error points at the exact episode.
+				var le *batch.LaneError
+				if errors.As(err, &le) {
+					return le.Seed, err
+				}
+				return seeds[0], err
+			}
+			if len(results) != n {
+				return seeds[0], fmt.Errorf("campaign: batch returned %d results for %d seeds", len(results), n)
+			}
+			// Wall-clock amortized per lane; the Stats fold below is
+			// timing-free and runs in episode order.
+			amort := float64(time.Since(t0).Nanoseconds()) / float64(n)
+			for j := range results {
+				ctx.observe(&results[j], amort)
+			}
+		}
+		return 0, nil
+	}
+}
+
+// RunBatch executes the campaign through the batched lockstep engine:
+// each shard's episodes step in groups of Spec.BatchSize lanes.  Every
+// lane is byte-identical to its scalar episode and shards fold in episode
+// order, so Stats is bit-identical to Run for any (worker count × batch
+// size) combination — the differential parity suite asserts exactly this.
+// Checkpoints interoperate with Run: the fingerprint excludes BatchSize.
+func RunBatch(spec Spec, run BatchFunc) (*Report, error) {
+	if run == nil {
+		return nil, fmt.Errorf("campaign: nil batch function")
+	}
+	return execute(spec, batchBody(spec, run))
+}

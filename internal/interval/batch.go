@@ -1,0 +1,67 @@
+package interval
+
+import "fmt"
+
+// Slice kernels: element-wise interval operations over parallel lanes, for
+// the batched lockstep stepping engine (internal/sim/batch).  Each kernel is
+// defined as the scalar operation applied lane by lane — the batch property
+// tests pin `kernel(dst, a, b)[i] == a[i].Op(b[i])` exactly, so every
+// algebraic law proved for the scalar operations (inclusion soundness,
+// monotonicity) transfers to the batched forms unchanged.
+//
+// All kernels require every slice to share one length and panic otherwise:
+// a lane-count mismatch is a programming error in the batch engine's
+// compaction bookkeeping, never a runtime condition to tolerate.
+
+// checkLanes panics unless every length equals n.
+func checkLanes(n int, lens ...int) {
+	for _, l := range lens {
+		if l != n {
+			panic(fmt.Sprintf("interval: lane count mismatch: %d vs %d", n, l))
+		}
+	}
+}
+
+// AddSlices stores a[i].Add(b[i]) into dst[i] for every lane.  dst may
+// alias a or b.
+func AddSlices(dst, a, b []Interval) {
+	checkLanes(len(dst), len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i].Add(b[i])
+	}
+}
+
+// IntersectSlices stores a[i].Intersect(b[i]) into dst[i] for every lane.
+// dst may alias a or b.
+func IntersectSlices(dst, a, b []Interval) {
+	checkLanes(len(dst), len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i].Intersect(b[i])
+	}
+}
+
+// ExpandSlices stores src[i].Expand(r) into dst[i] for every lane.  dst may
+// alias src.
+func ExpandSlices(dst, src []Interval, r float64) {
+	checkLanes(len(dst), len(src))
+	for i := range dst {
+		dst[i] = src[i].Expand(r)
+	}
+}
+
+// ContainsSlices stores ivs[i].Contains(xs[i]) into dst[i] for every lane —
+// the batched form of the per-step containment audits.
+func ContainsSlices(dst []bool, ivs []Interval, xs []float64) {
+	checkLanes(len(dst), len(ivs), len(xs))
+	for i := range dst {
+		dst[i] = ivs[i].Contains(xs[i])
+	}
+}
+
+// WidthSlices stores ivs[i].Width() into dst[i] for every lane.
+func WidthSlices(dst []float64, ivs []Interval) {
+	checkLanes(len(dst), len(ivs))
+	for i := range dst {
+		dst[i] = ivs[i].Width()
+	}
+}

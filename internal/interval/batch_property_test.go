@@ -1,0 +1,133 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the slice kernels.  The defining law — checked per
+// lane over ~200 random batches — is that a batched op over N lanes equals
+// N scalar ops; the scalar laws (inclusion soundness, monotonicity) then
+// transfer for free, but the soundness properties are re-checked directly
+// on the batched outputs as a belt-and-braces guard against a kernel that
+// drifts from its scalar twin.
+
+// drawLanes returns a random batch of non-empty intervals with the same
+// occasional degeneracies as drawInterval.
+func drawLanes(rng *rand.Rand, n int) []Interval {
+	out := make([]Interval, n)
+	for i := range out {
+		out[i] = drawInterval(rng)
+	}
+	return out
+}
+
+func drawLaneCount(rng *rand.Rand) int { return 1 + rng.Intn(64) }
+
+func TestPropAddSlicesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for i := 0; i < propCases; i++ {
+		n := drawLaneCount(rng)
+		a, b := drawLanes(rng, n), drawLanes(rng, n)
+		dst := make([]Interval, n)
+		AddSlices(dst, a, b)
+		for l := 0; l < n; l++ {
+			if dst[l] != a[l].Add(b[l]) {
+				t.Fatalf("lane %d: AddSlices %v ≠ scalar %v", l, dst[l], a[l].Add(b[l]))
+			}
+			x, y := drawIn(rng, a[l]), drawIn(rng, b[l])
+			if !dst[l].Contains(x + y) {
+				t.Fatalf("lane %d: %v + %v = %v does not contain %v", l, a[l], b[l], dst[l], x+y)
+			}
+		}
+	}
+}
+
+func TestPropIntersectSlicesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	for i := 0; i < propCases; i++ {
+		n := drawLaneCount(rng)
+		a, b := drawLanes(rng, n), drawLanes(rng, n)
+		dst := make([]Interval, n)
+		IntersectSlices(dst, a, b)
+		for l := 0; l < n; l++ {
+			if dst[l] != a[l].Intersect(b[l]) {
+				t.Fatalf("lane %d: IntersectSlices %v ≠ scalar %v", l, dst[l], a[l].Intersect(b[l]))
+			}
+			// Inclusion: the intersection is inside both operands.
+			if !dst[l].IsEmpty() && (!a[l].ContainsInterval(dst[l]) || !b[l].ContainsInterval(dst[l])) {
+				t.Fatalf("lane %d: %v ∩ %v = %v escapes an operand", l, a[l], b[l], dst[l])
+			}
+		}
+	}
+}
+
+func TestPropExpandSlicesMatchesScalarAndMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for i := 0; i < propCases; i++ {
+		n := drawLaneCount(rng)
+		src := drawLanes(rng, n)
+		r := rng.Float64() * 3
+		dst := make([]Interval, n)
+		ExpandSlices(dst, src, r)
+		for l := 0; l < n; l++ {
+			if dst[l] != src[l].Expand(r) {
+				t.Fatalf("lane %d: ExpandSlices %v ≠ scalar %v", l, dst[l], src[l].Expand(r))
+			}
+			// Monotone: growing by r ≥ 0 preserves inclusion per lane.
+			if !dst[l].ContainsInterval(src[l]) {
+				t.Fatalf("lane %d: %v.Expand(%v) = %v lost inclusion", l, src[l], r, dst[l])
+			}
+		}
+	}
+}
+
+func TestPropContainsSlicesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	for i := 0; i < propCases; i++ {
+		n := drawLaneCount(rng)
+		ivs := drawLanes(rng, n)
+		xs := make([]float64, n)
+		for l := range xs {
+			if rng.Intn(2) == 0 {
+				xs[l] = drawIn(rng, ivs[l]) // inside
+			} else {
+				xs[l] = ivs[l].Hi + 1 + rng.Float64() // outside
+			}
+		}
+		dst := make([]bool, n)
+		ContainsSlices(dst, ivs, xs)
+		for l := 0; l < n; l++ {
+			if dst[l] != ivs[l].Contains(xs[l]) {
+				t.Fatalf("lane %d: ContainsSlices(%v, %v) = %v ≠ scalar", l, ivs[l], xs[l], dst[l])
+			}
+		}
+	}
+}
+
+func TestPropWidthSlicesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	for i := 0; i < propCases; i++ {
+		n := drawLaneCount(rng)
+		ivs := drawLanes(rng, n)
+		dst := make([]float64, n)
+		WidthSlices(dst, ivs)
+		for l := 0; l < n; l++ {
+			if dst[l] != ivs[l].Width() {
+				t.Fatalf("lane %d: WidthSlices %v ≠ scalar %v", l, dst[l], ivs[l].Width())
+			}
+			if dst[l] < 0 {
+				t.Fatalf("lane %d: negative width %v", l, dst[l])
+			}
+		}
+	}
+}
+
+func TestSliceKernelsPanicOnLaneMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSlices accepted mismatched lane counts")
+		}
+	}()
+	AddSlices(make([]Interval, 2), make([]Interval, 3), make([]Interval, 2))
+}

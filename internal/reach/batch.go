@@ -1,0 +1,54 @@
+package reach
+
+import (
+	"fmt"
+
+	"safeplan/internal/dynamics"
+)
+
+// Slice kernels: the reachability operations applied over parallel lanes,
+// for the batched lockstep stepping engine (internal/sim/batch).  Every
+// lane shares one time argument and one physical envelope — the batch
+// engine steps N episodes of a single Config in lockstep — while snapshots
+// and sets stay per-lane.  Each kernel is the scalar operation lane by
+// lane; the batch property tests pin that equality exactly, so soundness
+// (the true state stays inside) transfers from the scalar proofs unchanged.
+//
+// Kernels panic on lane-count mismatch: the batch engine's compaction keeps
+// its parallel slices in lockstep, and a length skew is a bookkeeping bug.
+
+// checkLanes panics unless every length equals n.
+func checkLanes(n int, lens ...int) {
+	for _, l := range lens {
+		if l != n {
+			panic(fmt.Sprintf("reach: lane count mismatch: %d vs %d", n, l))
+		}
+	}
+}
+
+// AtSlices stores At(snaps[i], t, l) into dst[i] for every lane.
+func AtSlices(dst []Set, snaps []Snapshot, t float64, l dynamics.Limits) {
+	checkLanes(len(dst), len(snaps))
+	for i := range dst {
+		dst[i] = At(snaps[i], t, l)
+	}
+}
+
+// FromSetSlices stores FromSet(src[i], dt, l) into dst[i] for every lane.
+// dst may alias src.
+func FromSetSlices(dst, src []Set, dt float64, l dynamics.Limits) {
+	checkLanes(len(dst), len(src))
+	for i := range dst {
+		dst[i] = FromSet(src[i], dt, l)
+	}
+}
+
+// ContainsSlices stores sets[i].Contains(states[i]) into dst[i] for every
+// lane — the batched form of the per-step soundness audit the stepping
+// engines run against the true oncoming state.
+func ContainsSlices(dst []bool, sets []Set, states []dynamics.State) {
+	checkLanes(len(dst), len(sets), len(states))
+	for i := range dst {
+		dst[i] = sets[i].Contains(states[i])
+	}
+}

@@ -1,0 +1,173 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+
+	"safeplan/internal/dynamics"
+	"safeplan/internal/interval"
+)
+
+// Property tests for the reach slice kernels, mirroring the interval-law
+// style: ~200 random batches per law, each asserting (a) the batched op
+// equals N scalar ops exactly and (b) the soundness property the scalar op
+// guarantees — the true trajectory stays inside the propagated set — holds
+// per lane on the batched output.
+
+const propCases = 200
+
+func drawLimits(rng *rand.Rand) dynamics.Limits {
+	return dynamics.Limits{
+		VMin: 0, VMax: 5 + rng.Float64()*25,
+		AMin: -2 - rng.Float64()*6, AMax: 1 + rng.Float64()*4,
+	}
+}
+
+func drawSnapshots(rng *rand.Rand, n int, l dynamics.Limits) []Snapshot {
+	out := make([]Snapshot, n)
+	for i := range out {
+		out[i] = Snapshot{
+			T: rng.Float64() * 2,
+			S: dynamics.State{
+				P: (rng.Float64() - 0.5) * 200,
+				V: l.VMin + rng.Float64()*(l.VMax-l.VMin),
+			},
+		}
+	}
+	return out
+}
+
+func drawSets(rng *rand.Rand, n int, l dynamics.Limits) []Set {
+	out := make([]Set, n)
+	for i := range out {
+		p := (rng.Float64() - 0.5) * 200
+		v := l.VMin + rng.Float64()*(l.VMax-l.VMin)*0.8
+		out[i] = Set{
+			P: interval.New(p, p+rng.Float64()*10),
+			V: interval.New(v, v+rng.Float64()*(l.VMax-v)),
+		}
+	}
+	return out
+}
+
+func TestPropAtSlicesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for i := 0; i < propCases; i++ {
+		n := 1 + rng.Intn(64)
+		l := drawLimits(rng)
+		snaps := drawSnapshots(rng, n, l)
+		tq := rng.Float64() * 4
+		dst := make([]Set, n)
+		AtSlices(dst, snaps, tq, l)
+		for k := 0; k < n; k++ {
+			want := At(snaps[k], tq, l)
+			if dst[k] != want {
+				t.Fatalf("lane %d: AtSlices %+v ≠ scalar %+v", k, dst[k], want)
+			}
+			// Soundness anchor: the snapshot state held still is reachable
+			// whenever velocity can stay (VMin ≤ 0 forces v ≥ VMin ≥ ...);
+			// at minimum the set must be non-empty with V inside the limits.
+			if dst[k].IsEmpty() {
+				t.Fatalf("lane %d: reachable set empty for %+v at t=%v", k, snaps[k], tq)
+			}
+			if dst[k].V.Lo < l.VMin-1e-12 || dst[k].V.Hi > l.VMax+1e-12 {
+				t.Fatalf("lane %d: velocity bound %v escapes limits %+v", k, dst[k].V, l)
+			}
+		}
+	}
+}
+
+// TestPropAtSlicesSoundPerLane simulates a random admissible trajectory per
+// lane from the snapshot and asserts the batched reachable set contains the
+// true state — the defining soundness property of Eq. 2, preserved lane by
+// lane.
+func TestPropAtSlicesSoundPerLane(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	for i := 0; i < propCases; i++ {
+		n := 1 + rng.Intn(16)
+		l := drawLimits(rng)
+		snaps := drawSnapshots(rng, n, l)
+		const dt = 0.05
+		steps := 1 + rng.Intn(40)
+		states := make([]dynamics.State, n)
+		dst := make([]Set, n)
+		inside := make([]bool, n)
+		for k := range states {
+			states[k] = snaps[k].S
+		}
+		var tq float64
+		for s := 0; s < steps; s++ {
+			for k := range states {
+				a := l.AMin + rng.Float64()*(l.AMax-l.AMin)
+				states[k], _ = dynamics.Step(states[k], a, dt, l)
+			}
+			tq = float64(s+1) * dt
+			for k := range dst {
+				AtSlices(dst[k:k+1], snaps[k:k+1], snaps[k].T+tq, l)
+			}
+			ContainsSlices(inside, dst, states)
+			for k, ok := range inside {
+				if !ok {
+					t.Fatalf("lane %d: true state %+v escaped reachable set %+v after %v s", k, states[k], dst[k], tq)
+				}
+			}
+		}
+	}
+}
+
+func TestPropFromSetSlicesMatchesScalarAndMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for i := 0; i < propCases; i++ {
+		n := 1 + rng.Intn(64)
+		l := drawLimits(rng)
+		src := drawSets(rng, n, l)
+		dt := rng.Float64() * 2
+		dst := make([]Set, n)
+		FromSetSlices(dst, src, dt, l)
+		for k := 0; k < n; k++ {
+			want := FromSet(src[k], dt, l)
+			if dst[k] != want {
+				t.Fatalf("lane %d: FromSetSlices %+v ≠ scalar %+v", k, dst[k], want)
+			}
+			// Inclusion monotonicity: a held state (zero accel is admissible
+			// when AMin ≤ 0 ≤ AMax by construction of drawLimits) keeps any
+			// velocity of the source set reachable.
+			if dt > 0 && !dst[k].V.ContainsInterval(src[k].V.ClampTo(l.VMin, l.VMax)) {
+				t.Fatalf("lane %d: propagated velocity %v lost source %v", k, dst[k].V, src[k].V)
+			}
+		}
+	}
+}
+
+func TestPropContainsSlicesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for i := 0; i < propCases; i++ {
+		n := 1 + rng.Intn(64)
+		l := drawLimits(rng)
+		sets := drawSets(rng, n, l)
+		states := make([]dynamics.State, n)
+		for k := range states {
+			if rng.Intn(2) == 0 {
+				states[k] = dynamics.State{P: sets[k].P.Mid(), V: sets[k].V.Mid()}
+			} else {
+				states[k] = dynamics.State{P: sets[k].P.Hi + 1, V: sets[k].V.Mid()}
+			}
+		}
+		dst := make([]bool, n)
+		ContainsSlices(dst, sets, states)
+		for k := 0; k < n; k++ {
+			if dst[k] != sets[k].Contains(states[k]) {
+				t.Fatalf("lane %d: ContainsSlices ≠ scalar for %+v in %+v", k, states[k], sets[k])
+			}
+		}
+	}
+}
+
+func TestReachSliceKernelsPanicOnLaneMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ContainsSlices accepted mismatched lane counts")
+		}
+	}()
+	ContainsSlices(make([]bool, 2), make([]Set, 3), make([]dynamics.State, 2))
+}

@@ -1,0 +1,50 @@
+package batch_test
+
+import (
+	"testing"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/sim"
+	"safeplan/internal/sim/batch"
+)
+
+// The batch allocation gate: with a warmed arena, stepping a batch must
+// amortize to strictly less than one allocation per episode — the scalar
+// engine's bar — at batch width 8.  The engine itself is pooled in the
+// arena's ExtEngine slot and every lane- and slot-indexed slice is reused,
+// so the steady state is a handful of allocations per *batch* at most
+// (runtime noise included), not per episode.
+const batchAllocWidth = 8
+
+func TestBatchEpisodeAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate is not meaningful with -short")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	cfg.InfoFilter = true
+	agent := ultimate(cfg)
+	sh := sim.NewScratch()
+	seeds := make([]int64, batchAllocWidth)
+
+	run := func(base int64) {
+		for i := range seeds {
+			seeds[i] = base + int64(i)
+		}
+		if _, err := batch.Run(cfg, agent, seeds, sim.Options{Scratch: sh}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the arena: the first batch grows every pool and lane slice.
+	run(1)
+	base := int64(100)
+	avg := testing.AllocsPerRun(10, func() {
+		base += batchAllocWidth
+		run(base)
+	})
+	perEpisode := avg / batchAllocWidth
+	if perEpisode >= 1 {
+		t.Errorf("batched episode amortizes to %.2f allocs (%.1f per batch of %d); must stay below the scalar 1 alloc/episode bar",
+			perEpisode, avg, batchAllocWidth)
+	}
+}

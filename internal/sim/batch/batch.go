@@ -1,0 +1,732 @@
+// Package batch implements the batched lockstep stepping engine: a
+// structure-of-arrays twin of sim.Stepper that advances N left-turn
+// episodes one control step at a time over per-field contiguous slices.
+// Within a step, the stateful component work (channel, sensing, fusion,
+// planning) runs lane-major — each lane's pointer-heavy working set is
+// touched once, while it is cache-hot — and the dense float work (the
+// containment audits over the SoA interval sets, the outcome sweep) runs
+// as whole-slice passes.  The payoff is throughput — per-step dispatch,
+// ticker math, and shared per-step values amortize over the batch, and
+// same-field state is cache-adjacent — while every lane stays
+// byte-identical to the scalar engine.
+//
+// # Why lockstep batching is bit-invisible
+//
+// Each episode's randomness derives from its master seed through a fixed
+// set of purpose-specific streams (driver, channel, sensor, init, sensor
+// dropout, disturbance, fault injection), created in one documented order
+// at construction.  Every stream is consumed by exactly one component, and
+// every component is per-lane.  Interleaving lanes within a step therefore
+// permutes only draws from different streams, never draws within one; each
+// stream still observes exactly the scalar draw sequence.  Deferring the
+// containment audits to a post-pass is equally invisible: they draw no
+// randomness and only increment per-episode counters, so moving them
+// after planning changes no operand of any other computation.  The float
+// math is per-lane with identical operands in identical order, so results
+// match bit for bit.  TestBatchScalarParity and FuzzBatchParity pin this.
+//
+// Three pieces of per-step state are genuinely shared across lanes and
+// safely so, because all lanes run one Config: the time grid (t = step·Δt_c
+// and the horizon), and the message/sensing tickers, which are pure integer
+// functions of the time sequence.  The stateless monitor is shared too.
+// Everything stateful — channel, fusion filter, sensor, driver, RNGs,
+// guard — stays per-lane.
+//
+// # Lane compaction
+//
+// Episodes terminate at different steps.  A finished lane is finalized and
+// swap-removed: the tail lane's state moves into its position across every
+// parallel slice, and a stable index map (lane → result slot) keeps results
+// addressed by their original batch position.  The batch thus stays dense —
+// no per-step "is this lane alive" masking — and per-episode results come
+// back in seed order regardless of termination order.
+//
+// # Telemetry
+//
+// The batch engine emits the same step/episode/guard probes as the scalar
+// engine with one exception: StepProbe.PlannerNs is reported as 0.  The
+// scalar engine brackets each planner call with wall-clock reads; the batch
+// hot path deliberately performs no wall-clock reads at all (the
+// determinism lint budget covers this package), so per-call planner
+// latency is not measured in batch mode.  Campaign Stats never depend on telemetry, so this does
+// not affect any determinism guarantee.
+package batch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/disturb"
+	"safeplan/internal/dynamics"
+	"safeplan/internal/fusion"
+	"safeplan/internal/guard"
+	"safeplan/internal/leftturn"
+	"safeplan/internal/monitor"
+	"safeplan/internal/reach"
+	"safeplan/internal/sensor"
+	"safeplan/internal/sim"
+	"safeplan/internal/telemetry"
+	"safeplan/internal/traffic"
+	"safeplan/internal/xrand"
+)
+
+// LaneError wraps an episode failure with its batch position, so the
+// campaign runner can attribute the error to the exact seed.
+type LaneError struct {
+	Slot int   // index into the seeds slice passed to the engine
+	Seed int64 // master seed of the failed episode
+	Err  error
+}
+
+func (e *LaneError) Error() string {
+	return fmt.Sprintf("batch lane %d (seed %d): %v", e.Slot, e.Seed, e.Err)
+}
+
+func (e *LaneError) Unwrap() error { return e.Err }
+
+// BatchStepper steps N episodes of one Config in lockstep.  It is the SoA
+// counterpart of sim.Stepper: per-field contiguous slices indexed by dense
+// lane, compacted as lanes terminate.  Like the scalar engine it is pooled
+// inside the Scratch arena (via the ExtEngine slot) and is not safe for
+// concurrent use; one engine serves one batch at a time.
+type BatchStepper struct {
+	cfg   sim.Config
+	agent core.Agent
+	opts  sim.Options
+
+	sc   leftturn.Config
+	mon  monitor.Monitor
+	coll telemetry.Collector
+
+	dt       float64
+	maxSteps int
+	step     int
+	t        float64
+
+	// Shared tickers: pure integer functions of the lockstep time grid,
+	// identical for every lane of the shared Config.
+	msgTick, sensTick comms.Ticker
+
+	n int // live lanes; lane-indexed slices below are valid in [0, n)
+
+	// Vehicle state, SoA.
+	egoP, egoV       []float64
+	oncP, oncV, oncA []float64
+
+	// Per-lane stateful components.
+	drivers   []*traffic.Driver
+	channels  []*comms.Channel
+	sensors   []*sensor.Model
+	filters   []*fusion.Filter
+	sensProcs []disturb.SensorProcess
+	dropRngs  []*rand.Rand
+	guards    []*sim.GuardedStep
+
+	lastMeas []sensor.Reading
+	haveMeas []bool
+
+	// Per-step working state, SoA: fused/sound interval sets feed the
+	// batched containment kernels.
+	fusedSet []reach.Set
+	soundSet []reach.Set
+	truth    []dynamics.State
+	inFused  []bool
+	inSound  []bool
+
+	failed []bool
+
+	// know is the current lane's planner knowledge, staged immediately
+	// before that lane plans within the lane-major pass.  A single field
+	// (not a lane-indexed slice) deliberately: the value is consumed in
+	// the same loop iteration that writes it, and keeping it hot avoids a
+	// per-lane array store the scalar engine does not pay.
+	know core.Knowledge
+
+	// slot maps dense lane index to the episode's position in the seeds
+	// slice; it is the stable index map behind swap-remove compaction.
+	slot []int
+
+	// Slot-indexed episode outputs.
+	seeds []int64
+	res   []sim.Result
+	errs  []error
+
+	msgBuf []comms.Message
+
+	// Pooled RNG backing stores.  Each lane owns a master source and up to
+	// rngStreams derived sources, all xrand.Source (bit-exact math/rand
+	// replicas) so construction can seed them in batch: xrand.SeedMany
+	// interleaves the 607-entry bootstrap chains across lanes and streams,
+	// hiding the serial multiply latency that makes per-source seeding the
+	// single largest cost of a scalar episode.  The *rand.Rand wrappers are
+	// created once and reused; reseeding the underlying source is
+	// equivalent to the scalar engine's pooled rand.Seed.
+	masterSrc []*xrand.Source
+	masters   []*rand.Rand
+	streamSrc []*xrand.Source
+	streamRng []*rand.Rand
+
+	seedSrcScratch []*xrand.Source
+	seedValScratch []int64
+
+	// Hot-path closures, built once per engine: they read the receiver's
+	// cur field, so one closure set serves every lane of every batch.
+	cur    int
+	plan   func() (float64, bool)
+	emergF func() float64
+	envF   func() (float64, float64, bool)
+
+	done     bool
+	finished bool
+}
+
+// pooled fetches the arena's batch engine (stored in the opaque ExtEngine
+// slot, the same mechanism internal/carfollow uses) or allocates a fresh
+// one.  Reuse keeps steady-state batches allocation-free.
+func pooled(sh *sim.Scratch) *BatchStepper {
+	if b, ok := sh.ExtEngine().(*BatchStepper); ok && b != nil {
+		return b
+	}
+	b := &BatchStepper{}
+	sh.SetExtEngine(b)
+	return b
+}
+
+// grow returns s resized to n lanes, reallocating only on capacity growth.
+// Contents are unspecified; reset overwrites every live lane.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// rngStreams is the maximum number of derived per-lane streams (driver,
+// channel, sensor, init, sensor dropout, disturbance), in their master
+// derivation order.
+const rngStreams = 6
+
+// growRNGs extends the paired source/wrapper pools to at least n entries.
+// Sources are reseeded in place batch after batch; the wrappers are bound
+// to their source once and never reallocated.
+func growRNGs(src []*xrand.Source, rng []*rand.Rand, n int) ([]*xrand.Source, []*rand.Rand) {
+	for len(src) < n {
+		s := &xrand.Source{}
+		src = append(src, s)
+		rng = append(rng, rand.New(s))
+	}
+	return src, rng
+}
+
+// New validates cfg and builds a batched engine positioned before step 0,
+// one lane per seed.  Per-lane setup replays NewStepper's construction
+// exactly — same RNG derivation order, same component acquisition order
+// from the scratch arena — so every lane is byte-identical to a scalar
+// episode run with the same seed (the parity suite pins this).
+func New(cfg sim.Config, agent core.Agent, seeds []int64, opts sim.Options) (*BatchStepper, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("batch: empty seed set")
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = sim.DefaultHorizon
+	}
+	sh := opts.Scratch
+	sh.Begin()
+	b := pooled(sh)
+	b.reset(cfg, agent, len(seeds), opts)
+	b.seeds = append(b.seeds[:0], seeds...)
+
+	sc := cfg.Scenario
+	b.sc = sc
+	b.mon = monitor.New(cfg.Scenario)
+	b.coll = opts.Collector
+	b.dt = sc.DtC
+	b.maxSteps = int(horizon/b.dt) + 1
+
+	// Batched stream seeding.  The derivation ORDER is a transcript of
+	// NewStepper — master seeded from the episode seed, then the stream
+	// seeds drawn from it in the documented sequence — but the expensive
+	// part, bootstrapping each source's 607-entry state, is hoisted out of
+	// the per-lane loop into two xrand.SeedMany passes (masters, then all
+	// derived streams of all lanes).  Seeding a source has no side effect
+	// on any other stream, so only the draw order matters for parity, and
+	// that is preserved exactly.
+	n := len(seeds)
+	b.masterSrc, b.masters = growRNGs(b.masterSrc, b.masters, n)
+	b.streamSrc, b.streamRng = growRNGs(b.streamSrc, b.streamRng, n*rngStreams)
+	xrand.SeedMany(b.masterSrc[:n], seeds)
+	srcs := b.seedSrcScratch[:0]
+	vals := b.seedValScratch[:0]
+	for i := range seeds {
+		m := b.masters[i]
+		base := i * rngStreams
+		k := rngStreams - 1
+		if cfg.SensorDisturb != nil {
+			k = rngStreams
+		}
+		for j := 0; j < k; j++ {
+			srcs = append(srcs, b.streamSrc[base+j])
+			vals = append(vals, m.Int63())
+		}
+	}
+	xrand.SeedMany(srcs, vals)
+	b.seedSrcScratch, b.seedValScratch = srcs[:0], vals[:0]
+
+	for i := range seeds {
+		base := i * rngStreams
+		master := b.masters[i]
+		driverRng := b.streamRng[base]
+		chanRng := b.streamRng[base+1]
+		sensRng := b.streamRng[base+2]
+		initRng := b.streamRng[base+3]
+		b.dropRngs[i] = b.streamRng[base+4]
+		if cfg.SensorDisturb != nil {
+			b.sensProcs[i] = cfg.SensorDisturb.NewSensor(b.streamRng[base+5])
+		} else {
+			b.sensProcs[i] = nil
+		}
+		gs, err := sim.NewGuardedStep(cfg.Guard, cfg.PlannerFault, cfg.Scenario.Ego, master)
+		if err != nil {
+			return nil, err
+		}
+		b.guards[i] = gs
+
+		if b.drivers[i], err = sh.Driver(cfg.Driver, driverRng); err != nil {
+			return nil, err
+		}
+		if b.channels[i], err = sh.Channel(cfg.Comms, chanRng); err != nil {
+			return nil, err
+		}
+		if b.sensors[i], err = sh.Sensor(cfg.Sensor, sensRng); err != nil {
+			return nil, err
+		}
+		if b.filters[i], err = sh.Fusion(fusion.Config{
+			Limits:    cfg.Scenario.Oncoming,
+			Sensor:    cfg.Sensor,
+			UseKalman: cfg.InfoFilter,
+			Replay:    cfg.InfoFilter && !cfg.NoReplay,
+		}); err != nil {
+			return nil, err
+		}
+
+		ego, onc := sc.EgoInit, sc.OncomingInit
+		if cfg.OncomingStartSpread > 0 {
+			onc.P -= initRng.Float64() * cfg.OncomingStartSpread
+		}
+		if cfg.OncomingSpeedMax > 0 {
+			onc.V = cfg.OncomingSpeedMin + initRng.Float64()*(cfg.OncomingSpeedMax-cfg.OncomingSpeedMin)
+		}
+		b.egoP[i], b.egoV[i] = ego.P, ego.V
+		b.oncP[i], b.oncV[i] = onc.P, onc.V
+		b.oncA[i] = 0
+
+		// Handshake broadcast: initial oncoming state known exactly.
+		b.filters[i].InitExact(0, onc, 0)
+	}
+
+	// One shared ticker pair for the whole batch; the scalar engine's
+	// per-episode tickers are pure functions of the same time grid.
+	b.msgTick = comms.MakeTicker(cfg.DtM)
+	b.msgTick.Due(0) // initial broadcast consumed by InitExact
+	b.sensTick = comms.MakeTicker(cfg.DtS)
+	b.sensTick.Due(0)
+
+	b.msgBuf = sh.MsgBuf()
+
+	if b.plan == nil {
+		// Built once per pooled engine; the closures read b.cur (and the
+		// staged b.know) at call time, so one set serves every lane with
+		// zero per-step allocation.
+		b.plan = func() (float64, bool) {
+			l := b.cur
+			return b.agent.Accel(b.t, dynamics.State{P: b.egoP[l], V: b.egoV[l]}, b.know)
+		}
+		b.emergF = func() float64 {
+			l := b.cur
+			return b.sc.EmergencyAccel(dynamics.State{P: b.egoP[l], V: b.egoV[l]})
+		}
+		b.envF = func() (float64, float64, bool) {
+			l := b.cur
+			ego := dynamics.State{P: b.egoP[l], V: b.egoV[l]}
+			return b.mon.Assess(ego, b.sc.ConservativeWindow(b.know.Sound)).Envelope(b.sc.Ego)
+		}
+	}
+	return b, nil
+}
+
+// reset clears per-batch state and sizes every lane- and slot-indexed slice
+// for n lanes, keeping the reusable closures and slice capacity.
+func (b *BatchStepper) reset(cfg sim.Config, agent core.Agent, n int, opts sim.Options) {
+	b.cfg = cfg
+	b.agent = agent
+	b.opts = opts
+	b.step = 0
+	b.t = 0
+	b.done = false
+	b.finished = false
+	b.n = n
+
+	b.egoP, b.egoV = grow(b.egoP, n), grow(b.egoV, n)
+	b.oncP, b.oncV, b.oncA = grow(b.oncP, n), grow(b.oncV, n), grow(b.oncA, n)
+	b.drivers = grow(b.drivers, n)
+	b.channels = grow(b.channels, n)
+	b.sensors = grow(b.sensors, n)
+	b.filters = grow(b.filters, n)
+	b.sensProcs = grow(b.sensProcs, n)
+	b.dropRngs = grow(b.dropRngs, n)
+	b.guards = grow(b.guards, n)
+	b.lastMeas = grow(b.lastMeas, n)
+	b.haveMeas = grow(b.haveMeas, n)
+	b.fusedSet = grow(b.fusedSet, n)
+	b.soundSet = grow(b.soundSet, n)
+	b.truth = grow(b.truth, n)
+	b.inFused = grow(b.inFused, n)
+	b.inSound = grow(b.inSound, n)
+	b.failed = grow(b.failed, n)
+	b.slot = grow(b.slot, n)
+	b.res = grow(b.res, n)
+	b.errs = grow(b.errs, n)
+	for i := 0; i < n; i++ {
+		b.haveMeas[i] = false
+		b.failed[i] = false
+		b.slot[i] = i
+		b.res[i] = sim.Result{}
+		b.errs[i] = nil
+	}
+}
+
+// Size returns the batch width (number of seeds / result slots).
+func (b *BatchStepper) Size() int { return len(b.seeds) }
+
+// Live returns the number of lanes still running.
+func (b *BatchStepper) Live() int { return b.n }
+
+// Done reports whether every lane has terminated.
+func (b *BatchStepper) Done() bool { return b.done }
+
+// Step advances every live lane by one control step.  The stateful
+// component work runs lane-major — each lane's channel, filter, sensor,
+// guard, and driver are touched together, while cache-hot — and the
+// containment audits run afterward as whole-slice kernel passes over the
+// SoA interval sets (sound because they draw no randomness and only
+// increment counters; see the package comment).  Lanes that terminate
+// (collision, target, horizon, or an invariant violation) are finalized
+// and compacted out.  Step never fails as a whole — per-lane errors
+// surface from Finish — and is a no-op once all lanes are done.
+func (b *BatchStepper) Step() {
+	if b.done {
+		return
+	}
+	if b.step >= b.maxSteps {
+		// Horizon exhausted before this step: every remaining lane times
+		// out (neither target nor violation — η = 0), as in the scalar
+		// engine's top-of-step check.
+		b.finishAll()
+		return
+	}
+	step := b.step
+	t := float64(step) * b.dt
+	b.t = t
+	cfg := &b.cfg
+	sc := b.sc
+	n := b.n
+
+	// The shared tickers and the scripted adversary accel advance once for
+	// the whole batch.
+	msgAt, msgDue := b.msgTick.Due(t)
+	sensAt, sensDue := b.sensTick.Due(t)
+	scripted := len(cfg.OncomingScript) > 0
+	var scriptA float64
+	if scripted {
+		scriptA = sim.ScriptAccel(cfg.OncomingScript, step)
+	}
+
+	// Length-capped local views of every lane-indexed slice: with the loop
+	// bound and each len tied to n, the compiler drops the per-access
+	// bounds checks, which otherwise cost a few percent of the whole step
+	// (the lane loop makes ~25 indexed accesses per lane).
+	egoP, egoV := b.egoP[:n], b.egoV[:n]
+	oncP, oncV, oncA := b.oncP[:n], b.oncV[:n], b.oncA[:n]
+	channels, filters, sensors := b.channels[:n], b.filters[:n], b.sensors[:n]
+	drivers, dropRngs, sensProcs := b.drivers[:n], b.dropRngs[:n], b.sensProcs[:n]
+	guards, slot := b.guards[:n], b.slot[:n]
+	fusedSet, soundSet, truth := b.fusedSet[:n], b.soundSet[:n], b.truth[:n]
+
+	// Lane-major pass: phases 1–5 of the scalar step for one lane at a
+	// time.  The per-lane operation order is exactly the scalar engine's,
+	// so every RNG stream observes its scalar draw sequence.
+	for l := 0; l < n; l++ {
+		res := &b.res[slot[l]]
+
+		// 1+2. Periodic V2V broadcast, then channel delivery.
+		if msgDue {
+			channels[l].Send(comms.Message{Sender: 1, T: msgAt, P: oncP[l], V: oncV[l], A: oncA[l]})
+		}
+		b.msgBuf = channels[l].PollAppend(t, b.msgBuf[:0])
+		for _, m := range b.msgBuf {
+			filters[l].OnMessage(m)
+		}
+
+		// 3. Periodic onboard sensing (dropout + disturbance).
+		if sensDue {
+			drop := cfg.SensorDropProb > 0 && dropRngs[l].Float64() < cfg.SensorDropProb
+			var bias float64
+			if sensProcs[l] != nil {
+				d := sensProcs[l].Next(sensAt)
+				drop = drop || d.Drop
+				bias = d.Bias
+			}
+			if !drop {
+				b.lastMeas[l] = sensors[l].MeasureBiased(1, sensAt, dynamics.State{P: oncP[l], V: oncV[l]}, oncA[l], bias)
+				b.haveMeas[l] = true
+				filters[l].OnReading(b.lastMeas[l])
+			}
+		}
+
+		// 4a. Fuse; stage the audit operands in the SoA arrays for the
+		// whole-slice kernel pass below.
+		est := filters[l].EstimateAt(t)
+		fusedSet[l] = reach.Set{P: est.P, V: est.V}
+		soundSet[l] = reach.Set{P: est.SoundP, V: est.SoundV}
+		truth[l] = dynamics.State{P: oncP[l], V: oncV[l]}
+		b.know = core.Knowledge{
+			Sound: leftturn.OncomingEstimate{
+				P: est.SoundP, V: est.SoundV,
+				PointP: est.PointP, PointV: est.PointV,
+				A: est.A,
+			},
+			Fused: leftturn.OncomingEstimate{
+				P: est.P, V: est.V,
+				PointP: est.PointP, PointV: est.PointV,
+				A: est.A,
+			},
+		}
+
+		// 4b. Plan, through the guard when configured.  The command and
+		// guard verdict live in locals: every consumer (telemetry,
+		// invariants, trace, world advance) runs inside this iteration.
+		b.cur = l
+		var a0 float64
+		var emergency bool
+		var gres guard.StepResult
+		if guards[l] != nil {
+			a0, emergency, gres = guards[l].Step(t, b.plan, b.emergF, b.envF)
+		} else {
+			a0, emergency = b.plan()
+		}
+
+		// 4c. Telemetry, emergency accounting, invariants, trace.
+		if b.coll != nil {
+			b.coll.OnStep(telemetry.StepProbe{
+				T:          t,
+				Emergency:  emergency,
+				SoundWidth: est.SoundP.Width(),
+				FusedWidth: est.P.Width(),
+				ConsWidth:  sc.ConservativeWindow(b.know.Fused).Width(),
+				AggrWidth:  sc.AggressiveWindow(b.know.Fused).Width(),
+				// PlannerNs stays 0: the batch hot path performs no
+				// wall-clock reads (see the package comment).
+			})
+			if guards[l] != nil {
+				guards[l].Report(b.coll, t, gres)
+			}
+		}
+		if emergency {
+			res.EmergencySteps++
+		}
+		if len(b.opts.Invariants) > 0 {
+			si := sim.StepInfo{
+				T:   t,
+				Ego: dynamics.State{P: egoP[l], V: egoV[l]}, Other: truth[l], OtherA: oncA[l],
+				Est: est, Accel: a0, Emergency: emergency,
+			}
+			if guards[l] != nil {
+				guards[l].Annotate(&si, gres)
+			}
+			if ierr := sim.CheckStepInvariants(b.opts.Invariants, si); ierr != nil {
+				// The lane aborts exactly where the scalar engine would:
+				// before its trace row and before the world advances.
+				b.errs[slot[l]] = ierr
+				b.failed[l] = true
+				continue
+			}
+		}
+		if b.opts.Trace {
+			b.appendTrace(l, t, est, a0, emergency)
+		}
+
+		// 5. Advance the world (only lanes that survived invariants).
+		behavA := scriptA
+		if !scripted {
+			behavA = drivers[l].Accel(t, dynamics.State{P: oncP[l], V: oncV[l]})
+		}
+		ego, _ := dynamics.Step(dynamics.State{P: egoP[l], V: egoV[l]}, a0, b.dt, sc.Ego)
+		onc, oncANext := dynamics.Step(dynamics.State{P: oncP[l], V: oncV[l]}, behavA, b.dt, sc.Oncoming)
+		egoP[l], egoV[l] = ego.P, ego.V
+		oncP[l], oncV[l], oncA[l] = onc.P, onc.V, oncANext
+		res.Steps++
+	}
+
+	// Audit containment with the batched reach kernels over the staged SoA
+	// interval sets.  Counter-only: failed lanes are audited too, exactly
+	// as the scalar engine audits before its invariant abort.
+	inFused, inSound := b.inFused[:n], b.inSound[:n]
+	reach.ContainsSlices(inFused, fusedSet, truth)
+	reach.ContainsSlices(inSound, soundSet, truth)
+	for l := 0; l < n; l++ {
+		if inFused[l] && inSound[l] {
+			continue
+		}
+		res := &b.res[slot[l]]
+		if !inFused[l] {
+			res.FusedIntervalMisses++
+		}
+		if !inSound[l] {
+			res.SoundViolations++
+		}
+	}
+	b.step++
+
+	// 6. Outcome checks and compaction.  Walking lanes high to low makes
+	// swap-remove safe: the tail lane swapped into a freed position was
+	// already handled this step.
+	timeout := b.step >= b.maxSteps
+	for l := b.n - 1; l >= 0; l-- {
+		res := &b.res[b.slot[l]]
+		ego := dynamics.State{P: b.egoP[l], V: b.egoV[l]}
+		onc := dynamics.State{P: b.oncP[l], V: b.oncV[l]}
+		switch {
+		case b.failed[l]:
+			b.removeLane(l)
+		case sc.Collision(ego, onc):
+			res.Collided = true
+			res.Eta = -1
+			b.removeLane(l)
+		case sc.ReachedTarget(ego):
+			res.Reached = true
+			res.ReachTime = t + b.dt
+			res.Eta = 1 / res.ReachTime
+			b.removeLane(l)
+		case timeout:
+			b.removeLane(l)
+		}
+	}
+	if b.n == 0 {
+		b.done = true
+	}
+}
+
+// appendTrace records the scalar engine's per-step trace row for lane l.
+// It runs inside the lane-major pass, so b.know is lane l's staged
+// knowledge and est is its fused estimate for this step.
+func (b *BatchStepper) appendTrace(l int, t float64, est fusion.Estimate, a0 float64, emergency bool) {
+	sc := b.sc
+	cons := sc.ConservativeWindow(b.know.Fused)
+	aggr := sc.AggressiveWindow(b.know.Fused)
+	soundW := sc.ConservativeWindow(b.know.Sound)
+	s := sim.Sample{
+		T:    t,
+		EgoP: b.egoP[l], EgoV: b.egoV[l], EgoA: a0,
+		OncP: b.oncP[l], OncV: b.oncV[l], OncA: b.oncA[l],
+		MeasP: math.NaN(), MeasV: math.NaN(),
+		EstP: est.PointP, EstV: est.PointV,
+		EstPLo: est.P.Lo, EstPHi: est.P.Hi,
+		EstVLo: est.V.Lo, EstVHi: est.V.Hi,
+		ConsLo: cons.Lo, ConsHi: cons.Hi,
+		AggrLo: aggr.Lo, AggrHi: aggr.Hi,
+		SoundPLo: est.SoundP.Lo, SoundPHi: est.SoundP.Hi,
+		SoundVLo: est.SoundV.Lo, SoundVHi: est.SoundV.Hi,
+		SoundLo: soundW.Lo, SoundHi: soundW.Hi,
+		Emergency: emergency,
+	}
+	if b.haveMeas[l] {
+		s.MeasP, s.MeasV = b.lastMeas[l].P, b.lastMeas[l].V
+	}
+	r := &b.res[b.slot[l]]
+	r.Trace = append(r.Trace, s)
+}
+
+// finishAll finalizes every remaining lane (horizon timeout).
+func (b *BatchStepper) finishAll() {
+	for l := b.n - 1; l >= 0; l-- {
+		b.removeLane(l)
+	}
+	b.done = true
+}
+
+// removeLane finalizes lane l's episode — the scalar Finish bookkeeping, in
+// the same order — and swap-removes the lane from every parallel slice.
+func (b *BatchStepper) removeLane(l int) {
+	s := b.slot[l]
+	sim.ReportOutcome(b.coll, b.seeds[s], &b.res[s])
+	if b.guards[l] != nil {
+		b.res[s].Guard = b.guards[l].Stats()
+	}
+	if b.errs[s] == nil && len(b.opts.Invariants) > 0 {
+		b.errs[s] = sim.CheckEpisodeInvariants(b.opts.Invariants, &b.res[s])
+	}
+
+	last := b.n - 1
+	if l != last {
+		b.egoP[l], b.egoV[l] = b.egoP[last], b.egoV[last]
+		b.oncP[l], b.oncV[l], b.oncA[l] = b.oncP[last], b.oncV[last], b.oncA[last]
+		b.drivers[l] = b.drivers[last]
+		b.channels[l] = b.channels[last]
+		b.sensors[l] = b.sensors[last]
+		b.filters[l] = b.filters[last]
+		b.sensProcs[l] = b.sensProcs[last]
+		b.dropRngs[l] = b.dropRngs[last]
+		b.guards[l] = b.guards[last]
+		b.lastMeas[l] = b.lastMeas[last]
+		b.haveMeas[l] = b.haveMeas[last]
+		b.fusedSet[l] = b.fusedSet[last]
+		b.soundSet[l] = b.soundSet[last]
+		b.truth[l] = b.truth[last]
+		b.failed[l] = b.failed[last]
+		b.slot[l] = b.slot[last]
+	}
+	b.n = last
+}
+
+// Finish returns the per-episode results in seed order and the first error
+// in seed order, if any — the deterministic pick matching what a scalar
+// sweep over the same seeds would hit first.  Lanes still live (an
+// abandoned batch) are finalized with their partial results.  Finish is
+// idempotent; the returned slice stays valid until the next New on the
+// same scratch arena.
+func (b *BatchStepper) Finish() ([]sim.Result, error) {
+	if !b.finished {
+		if !b.done {
+			b.finishAll()
+		}
+		b.finished = true
+	}
+	for s, err := range b.errs {
+		if err != nil {
+			return b.res, &LaneError{Slot: s, Seed: b.seeds[s], Err: err}
+		}
+	}
+	return b.res, nil
+}
+
+// Run steps a batch of episodes to completion: one lane per seed, results
+// in seed order.  Each lane is byte-identical to sim.Run with the same
+// seed and options; opts.Seed is ignored (seeds come from the slice).  On
+// error the returned *LaneError names the failing slot and seed.
+func Run(cfg sim.Config, agent core.Agent, seeds []int64, opts sim.Options) ([]sim.Result, error) {
+	b, err := New(cfg, agent, seeds, opts)
+	if err != nil {
+		return nil, err
+	}
+	for !b.Done() {
+		b.Step()
+	}
+	return b.Finish()
+}

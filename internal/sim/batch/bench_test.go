@@ -1,0 +1,55 @@
+package batch_test
+
+import (
+	"testing"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/sim"
+	"safeplan/internal/sim/batch"
+)
+
+// Width benchmarks for the lockstep engine under the heaviest steady-state
+// stack (delayed comms + information filter), one op = one full batch.
+// Compare against BenchmarkScalarPool (the same episodes through the
+// scalar engine) to see what a width buys; cmd/bench -perf writes the
+// canonical comparison to BENCH_perf.json.
+func benchBatch(b *testing.B, width int) {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	cfg.InfoFilter = true
+	agent := ultimate(cfg)
+	sh := sim.NewScratch()
+	seeds := make([]int64, width)
+	for i := range seeds {
+		seeds[i] = 42 + int64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := batch.Run(cfg, agent, seeds, sim.Options{Scratch: sh}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatch1(b *testing.B)  { benchBatch(b, 1) }
+func BenchmarkBatch8(b *testing.B)  { benchBatch(b, 8) }
+func BenchmarkBatch64(b *testing.B) { benchBatch(b, 64) }
+
+// BenchmarkScalarPool steps the same 8 episodes as BenchmarkBatch8
+// through the scalar engine — the baseline the widths amortize against.
+func BenchmarkScalarPool(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	cfg.InfoFilter = true
+	agent := ultimate(cfg)
+	sh := sim.NewScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := int64(42); s < 50; s++ {
+			if _, err := sim.Run(cfg, agent, sim.Options{Seed: s, Scratch: sh}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package batch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/disturb"
+	"safeplan/internal/faultinject"
+	"safeplan/internal/planner"
+	"safeplan/internal/sim"
+	"safeplan/internal/sim/batch"
+)
+
+// fuzzReader decodes a fuzz byte stream into bounded parameters, so every
+// decoded configuration passes Validate by construction and the fuzzer
+// spends its budget on behaviour (the same pattern as the sim package's
+// safety fuzzers).
+type fuzzReader struct {
+	data []byte
+	i    int
+}
+
+func (r *fuzzReader) next() byte {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return b
+}
+
+func (r *fuzzReader) unit() float64 { return float64(r.next()) / 255 }
+
+func (r *fuzzReader) rng(lo, hi float64) float64 { return lo + r.unit()*(hi-lo) }
+
+// decodeConfig mutates the default configuration along every axis the
+// batch engine threads differently: channel and sensor disturbance, the
+// information filter and its replay ablation, sensor dropout, message and
+// sensing periods, a scripted adversary, and planner-fault injection.
+func decodeConfig(r *fuzzReader) sim.Config {
+	cfg := sim.DefaultConfig()
+	switch r.next() % 3 {
+	case 1:
+		cfg.Comms = comms.Disturbed(disturb.IID{DropProb: r.unit(), Delay: r.rng(0, 0.4)})
+	case 2:
+		cfg.Comms = comms.Disturbed(disturb.GilbertElliott{
+			PGoodBad: r.unit(),
+			PBadGood: r.rng(0.02, 1),
+			DropGood: r.rng(0, 0.3),
+			DropBad:  r.unit(),
+			Delay:    r.rng(0, 0.3),
+			StartBad: r.next()%2 == 0,
+		})
+	}
+	switch r.next() % 3 {
+	case 1:
+		cfg.SensorDisturb = disturb.BiasDrift{Rate: r.unit(), Max: r.unit()}
+	case 2:
+		cfg.SensorDisturb = disturb.SensorDropout{
+			PGoodBad: r.rng(0, 0.3),
+			PBadGood: r.rng(0.05, 1),
+			DropBad:  r.unit(),
+		}
+	}
+	cfg.InfoFilter = r.next()%2 == 0
+	cfg.NoReplay = r.next()%2 == 0
+	cfg.SensorDropProb = r.rng(0, 0.5)
+	periods := []float64{0.05, 0.1, 0.2}
+	cfg.DtM = periods[int(r.next())%len(periods)]
+	cfg.DtS = periods[int(r.next())%len(periods)]
+	// Short horizons keep each execution fast; termination variety (reach
+	// vs timeout) still occurs, exercising compaction.
+	cfg.Horizon = r.rng(2, 8)
+	switch r.next() % 3 {
+	case 1:
+		cfg.PlannerFault = faultinject.NaNOutput{P: r.rng(0, 0.5)}
+	case 2:
+		cfg.PlannerFault = faultinject.PanicP{P: r.rng(0, 0.5)}
+	}
+	if n := int(r.next()) % 12; n > 0 {
+		lim := cfg.Scenario.Oncoming
+		script := make([]float64, n)
+		for i := range script {
+			script[i] = r.rng(lim.AMin, lim.AMax)
+		}
+		cfg.OncomingScript = script
+	}
+	return cfg
+}
+
+// FuzzBatchParity decodes arbitrary bytes into a valid configuration, a
+// batch size, and an episode count, and asserts the differential property
+// behind the batched engine: every lane's Result equals the scalar
+// engine's Result for the same seed, byte for byte, for any batch shape.
+func FuzzBatchParity(f *testing.F) {
+	// Seed corpus: perfect channel; delayed+filter; bursty channel with
+	// sensor dropout; fault injection; wide batch over a scripted
+	// adversary.  Mirrored in testdata/fuzz/FuzzBatchParity.
+	f.Add([]byte{}, int64(1))
+	f.Add([]byte{1, 127, 127, 0, 0, 1, 80, 1, 1, 3, 0, 5}, int64(42))
+	f.Add([]byte{2, 30, 40, 10, 200, 50, 1, 2, 60, 100, 80, 0, 2, 120, 2, 200, 7, 90, 60, 30}, int64(7))
+	f.Add([]byte{0, 0, 1, 0, 60, 0, 0, 140, 1, 100, 6, 5}, int64(99))
+	f.Add([]byte{1, 200, 20, 1, 50, 200, 0, 1, 1, 2, 180, 2, 80, 11, 250, 10, 20, 250, 30, 250, 60, 120, 90, 200, 10, 16}, int64(3))
+
+	sc := sim.DefaultConfig().Scenario
+	agents := []core.Agent{
+		core.NewUltimate(sc, planner.ConservativeExpert(sc)),
+		core.NewUltimate(sc, planner.AggressiveExpert(sc)),
+	}
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		r := &fuzzReader{data: data}
+		cfg := decodeConfig(r)
+		agent := agents[int(r.next())%len(agents)]
+		episodes := 1 + int(r.next())%6
+		size := 1 + int(r.next())%8
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid config: %v", err)
+		}
+
+		seeds := make([]int64, episodes)
+		want := make([]string, episodes)
+		for i := range seeds {
+			seeds[i] = seed + int64(i)
+			res, err := sim.Run(cfg, agent, sim.Options{Seed: seeds[i]})
+			if err != nil {
+				t.Fatalf("scalar seed %d: %v", seeds[i], err)
+			}
+			want[i] = fmt.Sprintf("%+v", res)
+		}
+		for lo := 0; lo < episodes; lo += size {
+			hi := min(lo+size, episodes)
+			rs, err := batch.Run(cfg, agent, seeds[lo:hi], sim.Options{})
+			if err != nil {
+				t.Fatalf("batch chunk [%d,%d): %v", lo, hi, err)
+			}
+			for j := range rs {
+				if got := fmt.Sprintf("%+v", rs[j]); got != want[lo+j] {
+					t.Fatalf("seed %d diverged at batch size %d under %+v\nscalar: %s\nbatch:  %s",
+						seeds[lo+j], size, cfg.Comms, want[lo+j], got)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,333 @@
+package batch_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"safeplan/internal/campaign"
+	"safeplan/internal/comms"
+	"safeplan/internal/core"
+	"safeplan/internal/disturb"
+	"safeplan/internal/faultinject"
+	"safeplan/internal/planner"
+	"safeplan/internal/sim"
+	"safeplan/internal/sim/batch"
+)
+
+// The differential parity suite: the batched lockstep engine must be
+// indistinguishable from the scalar engine — byte-identical per-episode
+// Results at every batch size, and bit-identical campaign Stats at every
+// (workers × batch size) combination.  Batch sizes cover the degenerate
+// lane (1), sizes that do not divide the episode count (3, 17 — a prime),
+// the alloc-gate size (8), and one wider than most shards (64), so chunk
+// remainders and heavy compaction are all exercised.
+
+var batchSizes = []int{1, 3, 8, 17, 64}
+
+const parityEpisodes = 40
+
+func ultimate(cfg sim.Config) core.Agent {
+	return core.NewUltimate(cfg.Scenario, planner.ConservativeExpert(cfg.Scenario))
+}
+
+func aggressiveUltimate(cfg sim.Config) core.Agent {
+	return core.NewUltimate(cfg.Scenario, planner.AggressiveExpert(cfg.Scenario))
+}
+
+type parityCase struct {
+	name  string
+	cfg   sim.Config
+	agent core.Agent
+}
+
+// parityCases spans the configuration axes that thread state differently:
+// the bare default, the paper's delayed channel with the information
+// filter, the harshest disturbance presets, sensor dropout with a scripted
+// adversary, and planner-fault injection under the guard.
+func parityCases(t *testing.T) []parityCase {
+	t.Helper()
+	base := sim.DefaultConfig()
+
+	delayed := sim.DefaultConfig()
+	delayed.Comms = comms.Delayed(0.25, 0.5)
+	delayed.InfoFilter = true
+
+	m, err := disturb.Preset("worst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := disturb.SensorPreset("worst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := sim.DefaultConfig()
+	worst.Comms = comms.Disturbed(m)
+	worst.SensorDisturb = sm
+	worst.InfoFilter = true
+
+	dropScript := sim.DefaultConfig()
+	dropScript.SensorDropProb = 0.35
+	dropScript.OncomingScript = []float64{2, 2, -3, 1.5, -1, 0, 2, -2.5, 0.5, -0.5}
+
+	fault := sim.DefaultConfig()
+	fault.Comms = comms.Delayed(0.25, 0.5)
+	fault.InfoFilter = true
+	fault.PlannerFault = faultinject.PanicP{P: 0.3}
+
+	return []parityCase{
+		{"default", base, ultimate(base)},
+		{"delayed-filter", delayed, ultimate(delayed)},
+		{"disturbed-worst", worst, aggressiveUltimate(worst)},
+		{"dropout-script", dropScript, ultimate(dropScript)},
+		{"guard-fault", fault, ultimate(fault)},
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// scalarResults runs the seed range through the scalar engine with a
+// reused arena (the campaign execution mode) and returns each Result's
+// JSON encoding.
+func scalarResults(t *testing.T, cfg sim.Config, agent core.Agent, seeds []int64) []string {
+	t.Helper()
+	sh := sim.NewScratch()
+	out := make([]string, len(seeds))
+	for i, seed := range seeds {
+		r, err := sim.Run(cfg, agent, sim.Options{Seed: seed, Scratch: sh})
+		if err != nil {
+			t.Fatalf("scalar seed %d: %v", seed, err)
+		}
+		out[i] = mustJSON(t, r)
+	}
+	return out
+}
+
+func TestBatchScalarParity(t *testing.T) {
+	for _, tc := range parityCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			seeds := make([]int64, parityEpisodes)
+			for i := range seeds {
+				seeds[i] = int64(i)
+			}
+			want := scalarResults(t, tc.cfg, tc.agent, seeds)
+
+			for _, size := range batchSizes {
+				sh := sim.NewScratch()
+				distinctSteps := map[int]bool{}
+				for lo := 0; lo < len(seeds); lo += size {
+					hi := min(lo+size, len(seeds))
+					rs, err := batch.Run(tc.cfg, tc.agent, seeds[lo:hi], sim.Options{Scratch: sh})
+					if err != nil {
+						t.Fatalf("batch size %d chunk [%d,%d): %v", size, lo, hi, err)
+					}
+					for j := range rs {
+						distinctSteps[rs[j].Steps] = true
+						if got := mustJSON(t, rs[j]); got != want[lo+j] {
+							t.Fatalf("batch size %d seed %d diverged\nscalar: %s\nbatch:  %s",
+								size, seeds[lo+j], want[lo+j], got)
+						}
+					}
+				}
+				// Episodes terminate at different steps, so any batch wider
+				// than one lane must have exercised mid-run compaction.
+				if size >= 8 && len(distinctSteps) < 2 {
+					t.Fatalf("batch size %d: all %d episodes terminated after the same step; compaction untested", size, len(seeds))
+				}
+			}
+
+			// The nil-scratch path (no arena, no pooled engine) must agree too.
+			rs, err := batch.Run(tc.cfg, tc.agent, seeds[:8], sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range rs {
+				if got := mustJSON(t, rs[j]); got != want[j] {
+					t.Fatalf("nil-scratch batch seed %d diverged", seeds[j])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchTraceParity covers the Trace path: per-step samples recorded in
+// batch mode must match the scalar rows exactly, including the measurement
+// columns fed by the per-lane sensor state.
+func TestBatchTraceParity(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	cfg.InfoFilter = true
+	cfg.SensorDropProb = 0.2
+	agent := ultimate(cfg)
+	seeds := []int64{11, 12, 13, 14, 15}
+
+	// Trace rows carry NaN sentinels (no measurement yet), so compare via
+	// %+v formatting instead of JSON; it prints every field including NaN.
+	want := make([]string, len(seeds))
+	for i, seed := range seeds {
+		r, err := sim.Run(cfg, agent, sim.Options{Seed: seed, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fmt.Sprintf("%+v", r)
+	}
+	rs, err := batch.Run(cfg, agent, seeds, sim.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if got := fmt.Sprintf("%+v", rs[i]); got != want[i] {
+			t.Fatalf("trace parity: seed %d diverged\nscalar: %s\nbatch:  %s", seeds[i], want[i], got)
+		}
+	}
+}
+
+// TestBatchCampaignStatsParity is the aggregate half of the differential
+// harness: campaign Stats must be bit-identical between the scalar runner
+// and the batched runner at every (workers × batch size) combination —
+// positional seeding plus the ordered shard fold make batching and
+// scheduling both invisible.
+func TestBatchCampaignStatsParity(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Comms = comms.Delayed(0.25, 0.5)
+	cfg.InfoFilter = true
+	agent := ultimate(cfg)
+	invs := []sim.Invariant{
+		sim.NoCollision{},
+		sim.SoundEstimate{},
+		sim.EmergencyOneStep{Cfg: cfg.Scenario},
+		sim.NewMonitorConsistency(cfg.Scenario),
+	}
+	spec := campaign.Spec{
+		Name: "batch-parity", Episodes: 64, BaseSeed: 7,
+		Workers: 1, Invariants: invs,
+	}
+
+	baseline, err := campaign.Run(spec, campaign.LeftTurn(cfg, agent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, baseline.Stats)
+
+	for _, workers := range []int{1, 4} {
+		for _, size := range batchSizes {
+			s := spec
+			s.Workers = workers
+			s.BatchSize = size
+			rep, err := campaign.RunBatch(s, campaign.LeftTurnBatch(cfg, agent))
+			if err != nil {
+				t.Fatalf("workers=%d batch=%d: %v", workers, size, err)
+			}
+			if got := mustJSON(t, rep.Stats); got != want {
+				t.Errorf("workers=%d batch=%d: Stats diverged from scalar baseline\nscalar: %s\nbatch:  %s",
+					workers, size, want, got)
+			}
+		}
+	}
+}
+
+// failAfter is a step invariant violated once T exceeds the threshold —
+// a deterministic mid-episode failure for the lane-error contract.
+type failAfter struct{ at float64 }
+
+func (f failAfter) Name() string { return "fail-after" }
+func (f failAfter) CheckStep(s sim.StepInfo) error {
+	if s.T > f.at {
+		return errors.New("fail-after tripped")
+	}
+	return nil
+}
+func (f failAfter) CheckEpisode(*sim.Result) error { return nil }
+
+// TestBatchLaneError: a failing lane aborts exactly where the scalar
+// engine would, and Finish surfaces the first failure in seed order with
+// its slot and seed attached.
+func TestBatchLaneError(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	agent := ultimate(cfg)
+	seeds := []int64{100, 101, 102, 103}
+	inv := []sim.Invariant{failAfter{at: 2.0}}
+
+	_, scalarErr := sim.Run(cfg, agent, sim.Options{Seed: seeds[0], Invariants: inv})
+	if scalarErr == nil {
+		t.Fatal("scalar run unexpectedly passed the failing invariant")
+	}
+
+	_, err := batch.Run(cfg, agent, seeds, sim.Options{Invariants: inv})
+	var le *batch.LaneError
+	if !errors.As(err, &le) {
+		t.Fatalf("batch error %v is not a LaneError", err)
+	}
+	if le.Slot != 0 || le.Seed != seeds[0] {
+		t.Fatalf("first failure attributed to slot %d seed %d; want slot 0 seed %d", le.Slot, le.Seed, seeds[0])
+	}
+	if le.Err.Error() != scalarErr.Error() {
+		t.Fatalf("lane error %q differs from scalar %q", le.Err, scalarErr)
+	}
+}
+
+// episodeBudget aborts the campaign after a fixed number of finished
+// episodes — a deterministic mid-campaign interruption for the checkpoint
+// test.  Single-worker use only (the counter is unsynchronized).
+type episodeBudget struct {
+	n     *int64
+	limit int64
+}
+
+func (f episodeBudget) Name() string                 { return "episode-budget" }
+func (f episodeBudget) CheckStep(sim.StepInfo) error { return nil }
+func (f episodeBudget) CheckEpisode(*sim.Result) error {
+	*f.n++
+	if *f.n > f.limit {
+		return errors.New("episode budget exhausted")
+	}
+	return nil
+}
+
+// TestBatchCheckpointInterop: a checkpoint written by the scalar runner
+// resumes under the batched runner (the fingerprint excludes BatchSize)
+// and completes to the identical Stats.
+func TestBatchCheckpointInterop(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	agent := ultimate(cfg)
+	full := campaign.Spec{Name: "ckpt-interop", Episodes: 48, BaseSeed: 3, Workers: 2}
+
+	baseline, err := campaign.Run(full, campaign.LeftTurn(cfg, agent))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First pass: scalar, single worker, interrupted after 30 episodes so
+	// only a prefix of shards reaches the checkpoint.
+	path := t.TempDir() + "/ckpt.json"
+	partial := full
+	partial.CheckpointPath = path
+	partial.Workers = 1
+	var ran int64
+	partial.Invariants = []sim.Invariant{episodeBudget{n: &ran, limit: 30}}
+	if _, err := campaign.Run(partial, campaign.LeftTurn(cfg, agent)); err == nil {
+		t.Fatal("interrupted pass unexpectedly ran to completion")
+	}
+
+	resumed := full
+	resumed.CheckpointPath = path
+	resumed.BatchSize = 8
+	rep, err := campaign.RunBatch(resumed, campaign.LeftTurnBatch(cfg, agent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Perf.ResumedShards == 0 {
+		t.Fatal("batched resume re-ran every shard; checkpoint was not picked up")
+	}
+	if got, want := mustJSON(t, rep.Stats), mustJSON(t, baseline.Stats); got != want {
+		t.Fatalf("batched resume diverged from scalar baseline\nscalar: %s\nbatch:  %s", want, got)
+	}
+}

@@ -496,6 +496,9 @@ type (
 	CampaignReport = campaign.Report
 	// CampaignEpisodeFunc runs one episode under campaign-filled options.
 	CampaignEpisodeFunc = campaign.EpisodeFunc
+	// CampaignBatchFunc runs one lockstep group of episodes — one lane per
+	// seed, results in seed order — for RunBatchedCampaign.
+	CampaignBatchFunc = campaign.BatchFunc
 	// EpisodeOptions is the per-episode options payload a campaign hands an
 	// episode function (seed and invariants filled by the runner).  Named
 	// here so custom CampaignEpisodeFunc implementations — not just the
@@ -525,6 +528,9 @@ var (
 	MultiVehicleCampaign = campaign.MultiVehicle
 	// CarFollowCampaign adapts the car-following runner.
 	CarFollowCampaign = campaign.CarFollow
+	// LeftTurnBatchCampaign adapts the lockstep batched left-turn engine
+	// (internal/sim/batch) for RunBatchedCampaign.
+	LeftTurnBatchCampaign = campaign.LeftTurnBatch
 )
 
 // RunShardedCampaign executes a deterministic sharded campaign; see
@@ -532,6 +538,18 @@ var (
 // contract.
 func RunShardedCampaign(spec CampaignSpec, episode CampaignEpisodeFunc) (*CampaignReport, error) {
 	rep, err := campaign.Run(spec, episode)
+	return rep, wrapErr(err)
+}
+
+// RunBatchedCampaign executes a sharded campaign through the lockstep
+// batch engine: each shard walks its episode range in groups of
+// CampaignSpec.BatchSize lanes stepped in structure-of-arrays lockstep
+// (DESIGN.md §14).  Every lane is byte-identical to its scalar episode
+// and shards fold in episode order, so Stats matches RunShardedCampaign
+// bit for bit at any (worker count × batch size); checkpoints
+// interoperate between the two entry points.
+func RunBatchedCampaign(spec CampaignSpec, run CampaignBatchFunc) (*CampaignReport, error) {
+	rep, err := campaign.RunBatch(spec, run)
 	return rep, wrapErr(err)
 }
 

@@ -18,7 +18,11 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PKGS="internal/sim internal/fusion internal/kalman internal/comms internal/reach internal/monitor"
+# The greps recurse, so internal/sim also covers the lockstep batch
+# engine (internal/sim/batch), which must stay entirely wall-clock-free:
+# phase-major stepping has no per-lane planner timing (StepProbe.PlannerNs
+# is 0 by design there — see the package doc).
+PKGS="internal/sim internal/fusion internal/kalman internal/comms internal/reach internal/monitor internal/interval"
 TIME_NOW_BUDGET=2
 
 fail=0
