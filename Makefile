@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-batch bench-campaign bench-seed bench-guard bench-perf campaign-smoke guard-smoke alloc-gate serve-smoke golden fuzz-smoke lint-extra
+.PHONY: build test check bench bench-batch bench-campaign bench-seed bench-guard bench-perf bench-ibp campaign-smoke guard-smoke alloc-gate serve-smoke ibp-gate golden fuzz-smoke lint-extra
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ check:
 	$(GO) test -race ./...
 	$(GO) test -run TestGolden ./internal/sim
 	$(GO) test -run FuzzGuardedPlanner ./internal/sim
+	$(GO) test -run FuzzIBPContainment ./internal/nn/ibp
 	$(MAKE) fuzz-smoke
 
 # Re-bless the golden traces after an intentional behaviour change.
@@ -31,6 +32,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCarFollowSafety -fuzztime 20s ./internal/carfollow
 	$(GO) test -run '^$$' -fuzz FuzzGuardedPlanner -fuzztime 20s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzBatchParity -fuzztime 20s ./internal/sim/batch
+	$(GO) test -run '^$$' -fuzz FuzzIBPContainment -fuzztime 20s ./internal/nn/ibp
 
 # Optional linters plus the in-tree determinism hygiene check: no global
 # math/rand calls and no new time.Now in the stepping packages (see
@@ -46,8 +48,21 @@ lint-extra:
 # the lockstep batch engine must amortize below the scalar 1 alloc/episode
 # bar at width 8 (internal/sim/batch/alloc_test.go).
 alloc-gate:
-	$(GO) test -run 'TestEpisodeAllocs|TestMultiEpisodeAllocs|TestScratchParity' ./internal/sim -v
+	$(GO) test -run 'TestEpisodeAllocs|TestMultiEpisodeAllocs|TestScratchParity|TestCertifyEpisodeAllocs' ./internal/sim -v
 	$(GO) test -run TestBatchEpisodeAllocs ./internal/sim/batch -v
+	$(GO) test -run TestIBPAllocs ./internal/nn/ibp -v
+
+# Certification gate: the IBP soundness property suites (interval network
+# containment, the leftturn/carfollow feature brackets, the monitor edge
+# cases), the committed fuzz corpus replay, and a quick certification sweep
+# over the trained models asserting zero certified-range misses on the
+# clean canonical scenario.
+ibp-gate:
+	$(GO) test ./internal/nn/ibp -count=1
+	$(GO) test -run 'TestFeatureBox' ./internal/leftturn ./internal/carfollow -count=1
+	$(GO) test -run 'TestCertify' ./internal/sim -count=1
+	$(GO) test ./internal/monitor -count=1
+	$(GO) run ./cmd/bench -ibp -quick -out /tmp/BENCH_ibp_gate.json
 
 # Serving CI gate: a short soak (500 concurrent sessions stepped to
 # termination under the burst preset) asserting the p99 step-latency SLO,
@@ -97,3 +112,9 @@ bench-guard:
 # arena off and on (ns/step, B/op, allocs/op); writes BENCH_perf.json.
 bench-perf:
 	$(GO) run ./cmd/bench -perf -out BENCH_perf.json
+
+# Offline certification sweep: every trained-NN design on the clean
+# canonical scenario in IBP verified mode; fails on any certified-range
+# miss.  Writes BENCH_ibp.json.
+bench-ibp:
+	$(GO) run ./cmd/bench -ibp -out BENCH_ibp.json

@@ -29,6 +29,11 @@
 // scalar episode loop.  Every lane is byte-identical to its scalar
 // episode and the fold order is unchanged, so the report's stats match
 // the scalar run bit for bit — only the throughput numbers move.
+// -ibp runs the offline certification sweep: every trained-NN design on
+// the clean canonical scenario in IBP verified mode (internal/nn/ibp),
+// each executed κ_n command cross-checked against the certified output
+// range.  Any certified-range miss fails the process; the report is
+// BENCH_ibp.json.  -models selects the trained-model directory.
 // -checkpoint enables per-campaign checkpoint/resume in the given
 // directory: an interrupted bench rerun resumes completed shards instead
 // of redoing them.  A corrupt checkpoint file is discarded with a warning
@@ -110,6 +115,8 @@ func main() {
 		batchSize  = flag.Int("batch", 0, "lockstep batch width for the left-turn matrix (0 or 1: scalar episode loop)")
 		checkpoint = flag.String("checkpoint", "", "directory for per-campaign checkpoints (enables resume)")
 		perfMode   = flag.Bool("perf", false, "allocation/latency matrix: ns/step, B/op, allocs/op per scenario, scratch off vs on (BENCH_perf.json)")
+		ibpMode    = flag.Bool("ibp", false, "certification sweep: every trained-NN design in IBP verified mode, zero certified-range misses required (BENCH_ibp.json)")
+		modelDir   = flag.String("models", "models", "trained-model directory for -ibp")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -175,6 +182,15 @@ func main() {
 			o = "BENCH_guard.json"
 		}
 		runGuardMatrix(n, w, *seed, o, *checkpoint)
+		return
+	}
+
+	if *ibpMode {
+		o := *out
+		if !flagPassed("out") {
+			o = "BENCH_ibp.json"
+		}
+		runIBPSweep(n, w, *seed, o, *modelDir)
 		return
 	}
 

@@ -64,6 +64,12 @@ type ShardStats struct {
 	GuardFaultEpisodes         int64 `json:"guard_fault_episodes,omitempty"`
 	GuardDegradedEpisodes      int64 `json:"guard_degraded_episodes,omitempty"`
 	GuardEmergencyOnlyEpisodes int64 `json:"guard_emergency_only_episodes,omitempty"`
+
+	// CertifiedSteps / CertifiedRangeMisses fold verified mode's IBP
+	// cross-check counters (sim.Config.Certify).  Both omitempty: reports
+	// from non-verified campaigns serialize byte-identically to before.
+	CertifiedSteps       int64 `json:"certified_steps,omitempty"`
+	CertifiedRangeMisses int64 `json:"certified_range_misses,omitempty"`
 }
 
 // Observe folds one episode result into the shard aggregate.
@@ -111,6 +117,8 @@ func (a *ShardStats) Observe(r *sim.Result) {
 	if g.WorstState >= guard.EmergencyOnly {
 		a.GuardEmergencyOnlyEpisodes++
 	}
+	a.CertifiedSteps += int64(r.CertifiedSteps)
+	a.CertifiedRangeMisses += int64(r.CertifiedRangeMisses)
 }
 
 // Merge folds another shard aggregate into this one.  The campaign runner
@@ -143,6 +151,8 @@ func (a *ShardStats) Merge(b *ShardStats) {
 	a.GuardFaultEpisodes += b.GuardFaultEpisodes
 	a.GuardDegradedEpisodes += b.GuardDegradedEpisodes
 	a.GuardEmergencyOnlyEpisodes += b.GuardEmergencyOnlyEpisodes
+	a.CertifiedSteps += b.CertifiedSteps
+	a.CertifiedRangeMisses += b.CertifiedRangeMisses
 }
 
 // Stats is the deterministic statistics section of a campaign report:
@@ -168,6 +178,12 @@ type Stats struct {
 	GuardFaultEpisodeRate *Rate   `json:"guard_fault_episode_rate,omitempty"`
 	GuardFallbackStepRate float64 `json:"guard_fallback_step_rate,omitempty"`
 
+	// CertifiedMissStepRate is the fraction of certified steps whose
+	// executed command escaped the IBP range; absent when verified mode
+	// checked nothing.  A clean configuration must report 0 (the ibp-gate
+	// asserts it).
+	CertifiedMissStepRate float64 `json:"certified_miss_step_rate,omitempty"`
+
 	// InvariantViolations counts violations by checker name; only
 	// populated when Spec.CountViolations is set (otherwise the first
 	// violation fails the campaign).
@@ -185,6 +201,9 @@ func (s *Stats) finalize() {
 		s.EmergencyStepRate = float64(s.EmergencySteps) / float64(s.Steps)
 	}
 	s.EtaStd = s.Eta.Std()
+	if s.CertifiedSteps > 0 {
+		s.CertifiedMissStepRate = float64(s.CertifiedRangeMisses) / float64(s.CertifiedSteps)
+	}
 	if s.GuardFaults > 0 || s.GuardFaultEpisodes > 0 || s.GuardBypassSteps > 0 {
 		r := NewRate(s.GuardFaultEpisodes, n)
 		s.GuardFaultEpisodeRate = &r

@@ -215,11 +215,17 @@ func (c Config) Violation(ego, lead dynamics.State) bool {
 // ReachedGoal reports whether the ego has covered the episode distance.
 func (c Config) ReachedGoal(ego dynamics.State) bool { return ego.P >= c.Goal }
 
+// FeatureCount is the NN-planner input dimension for car following.
+const FeatureCount = 5
+
+// noLeadGap is the sentinel gap feature used when no lead is known.
+const noLeadGap = 1e3
+
 // Features assembles the 5-dimensional NN-planner input for car following:
 // (gap to worst-case lead, ego speed, lead speed estimate, lead accel
 // estimate, required gap under the planner's braking assumption).
 func (c Config) Features(ego dynamics.State, lead LeadEstimate, assumedBrake float64) []float64 {
-	gap := 1e3
+	gap := noLeadGap
 	if !lead.P.IsEmpty() {
 		gap = lead.P.Lo - ego.P - c.PGap
 	}
@@ -230,4 +236,46 @@ func (c Config) Features(ego dynamics.State, lead LeadEstimate, assumedBrake flo
 		lead.A,
 		c.RequiredGap(ego.V, lead.PointV, assumedBrake),
 	}
+}
+
+// FeatureBox returns a fresh interval feature box; see FeatureBoxInto.
+func (c Config) FeatureBox(ego dynamics.State, sound LeadEstimate, assumedBrake float64) []interval.Interval {
+	dst := make([]interval.Interval, FeatureCount)
+	c.FeatureBoxInto(dst, ego, sound, assumedBrake)
+	return dst
+}
+
+// FeatureBoxInto is the interval twin of Features: it writes into dst
+// (length ≥ FeatureCount) a box containing Features(ego, e, assumedBrake)
+// for every lead estimate e whose P/V intervals lie inside the sound
+// estimate's, whose PointV lies inside sound.V, and whose A equals
+// sound.A — in particular for the fused estimate the planner sees, which
+// the filter keeps inside the sound set.  The braking assumption is a
+// function of the shared A, so the caller passes the same value it feeds
+// Features.
+//
+// The gap feature is linear in the estimate's lower position bound; the
+// lead-speed feature is exactly the sound velocity interval; the
+// required-gap feature brackets because RequiredGap is monotone
+// nonincreasing in the lead speed (a faster lead stops farther ahead).
+// A degenerate point estimate reproduces Features bitwise.  An empty
+// sound position interval means every consistent estimate has an empty
+// one too, so the gap feature is exactly the no-lead sentinel; an empty
+// velocity interval falls back to the point estimate carried alongside.
+func (c Config) FeatureBoxInto(dst []interval.Interval, ego dynamics.State, sound LeadEstimate, assumedBrake float64) {
+	if sound.P.IsEmpty() {
+		dst[0] = interval.Point(noLeadGap)
+	} else {
+		dst[0] = interval.New(sound.P.Lo-ego.P-c.PGap, sound.P.Hi-ego.P-c.PGap)
+	}
+	dst[1] = interval.Point(ego.V)
+	vHull := sound.V
+	if vHull.IsEmpty() {
+		vHull = interval.Point(sound.PointV)
+	}
+	dst[2] = vHull
+	dst[3] = interval.Point(sound.A)
+	gLo := c.RequiredGap(ego.V, vHull.Hi, assumedBrake)
+	gHi := c.RequiredGap(ego.V, vHull.Lo, assumedBrake)
+	dst[4] = interval.New(math.Min(gLo, gHi), math.Max(gLo, gHi))
 }

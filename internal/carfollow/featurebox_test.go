@@ -1,0 +1,102 @@
+package carfollow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"safeplan/internal/dynamics"
+	"safeplan/internal/interval"
+)
+
+// subLead draws an estimate inside sound's intervals with the shared
+// acceleration — the family FeatureBoxInto certifies over.
+func subLead(rng *rand.Rand, sound LeadEstimate) LeadEstimate {
+	sub := func(iv interval.Interval) interval.Interval {
+		a := iv.Lo + rng.Float64()*iv.Width()
+		b := iv.Lo + rng.Float64()*iv.Width()
+		return interval.New(math.Min(a, b), math.Max(a, b))
+	}
+	p, v := sub(sound.P), sub(sound.V)
+	return LeadEstimate{
+		P: p, V: v,
+		PointP: p.Lo + rng.Float64()*p.Width(),
+		PointV: v.Lo + rng.Float64()*v.Width(),
+		A:      sound.A,
+	}
+}
+
+// TestFeatureBoxContainment: the point features of every sub-estimate lie
+// inside the interval feature box of the sound estimate.  The affine and
+// single-operation bracketing arguments are exact in float64, so no
+// tolerance is needed.
+func TestFeatureBoxContainment(t *testing.T) {
+	c := DefaultConfig()
+	rng := rand.New(rand.NewSource(41))
+	var box [FeatureCount]interval.Interval
+	for caseNo := 0; caseNo < 400; caseNo++ {
+		pc := rng.Float64() * 80
+		sound := LeadEstimate{
+			P: interval.New(pc, pc+rng.Float64()*20),
+			V: interval.New(rng.Float64()*10, 10+rng.Float64()*10),
+			A: rng.Float64()*6 - 4,
+		}
+		sound.PointP = sound.P.Mid()
+		sound.PointV = sound.V.Mid()
+		ego := dynamics.State{P: rng.Float64()*20 - 10, V: rng.Float64() * 20}
+		ab := c.AggressiveAssumedBrake(sound.A)
+		c.FeatureBoxInto(box[:], ego, sound, ab)
+		for i, iv := range box {
+			if iv.IsEmpty() || math.IsNaN(iv.Lo) || math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) {
+				t.Fatalf("case %d: feature %d box is bad: %v", caseNo, i, iv)
+			}
+		}
+		for s := 0; s < 30; s++ {
+			est := sound
+			if s > 0 {
+				est = subLead(rng, sound)
+			}
+			feat := c.Features(ego, est, ab)
+			for i, f := range feat {
+				if f < box[i].Lo || f > box[i].Hi {
+					t.Fatalf("case %d sample %d: feature %d = %v escapes box %v (sound %+v, est %+v)",
+						caseNo, s, i, f, box[i], sound, est)
+				}
+			}
+		}
+	}
+}
+
+// TestFeatureBoxPointLead pins bitwise exactness on point estimates.
+func TestFeatureBoxPointLead(t *testing.T) {
+	c := DefaultConfig()
+	rng := rand.New(rand.NewSource(43))
+	var box [FeatureCount]interval.Interval
+	for caseNo := 0; caseNo < 300; caseNo++ {
+		lead := ExactLead(dynamics.State{P: rng.Float64() * 80, V: rng.Float64() * 20}, rng.Float64()*6-4)
+		ego := dynamics.State{P: rng.Float64()*20 - 10, V: rng.Float64() * 20}
+		ab := c.AggressiveAssumedBrake(lead.A)
+		feat := c.Features(ego, lead, ab)
+		c.FeatureBoxInto(box[:], ego, lead, ab)
+		for i, f := range feat {
+			if box[i].Lo != f || box[i].Hi != f {
+				t.Fatalf("case %d: feature %d box [%v, %v] is not the point %v",
+					caseNo, i, box[i].Lo, box[i].Hi, f)
+			}
+		}
+	}
+}
+
+// TestFeatureBoxNoLead pins the empty-estimate sentinel arm.
+func TestFeatureBoxNoLead(t *testing.T) {
+	c := DefaultConfig()
+	var box [FeatureCount]interval.Interval
+	sound := LeadEstimate{P: interval.Empty(), V: interval.Empty(), PointV: 3}
+	c.FeatureBoxInto(box[:], dynamics.State{P: 0, V: 5}, sound, c.Lead.AMin)
+	if box[0] != interval.Point(noLeadGap) {
+		t.Fatalf("gap feature %v, want point %v", box[0], noLeadGap)
+	}
+	if box[2] != interval.Point(3) {
+		t.Fatalf("lead-speed feature %v, want point 3", box[2])
+	}
+}

@@ -260,6 +260,13 @@ type EpisodeStats struct {
 	Recoveries   int   `json:"recoveries"`
 	WorstState   State `json:"worst_state"`
 	FinalState   State `json:"final_state"`
+
+	// CertifiedSteps counts clean pass-through steps cross-checked
+	// against an IBP certified range; CertifiedRangeMisses counts those
+	// whose executed command fell outside it.  Both stay zero (and out of
+	// the JSON) unless SetCertifiedRange armed the check.
+	CertifiedSteps       int `json:"certified_steps,omitempty"`
+	CertifiedRangeMisses int `json:"certified_range_misses,omitempty"`
 }
 
 // StepResult reports what the guard did on one step.
@@ -273,6 +280,10 @@ type StepResult struct {
 	Prev, State State
 	// PanicValue is the recovered panic payload (nil otherwise).
 	PanicValue any
+	// CertifiedMiss is set when the executed command fell outside the
+	// IBP certified range (diagnostic only — the command still executes,
+	// the envelope check remains the enforcement layer).
+	CertifiedMiss bool
 }
 
 // Transition reports whether the step moved the state machine.
@@ -292,6 +303,9 @@ type Guard struct {
 	lastGoodAge int
 	hasLastGood bool
 
+	certified func() (lo, hi float64, ok bool)
+	certTol   float64
+
 	stats EpisodeStats
 }
 
@@ -305,6 +319,22 @@ func New(cfg Config) (*Guard, error) {
 
 // State returns the current degradation state.
 func (g *Guard) State() State { return g.state }
+
+// SetCertifiedRange arms the IBP cross-check: f returns the certified
+// output range of the planner network for the current step's sound
+// estimate (ok=false when no range is available, e.g. a non-NN planner
+// or an unbounded estimate).  Clean non-emergency pass-through commands
+// are then checked against [lo − tol, hi + tol] and misses are counted
+// in EpisodeStats — flagged, not substituted, because the certified
+// range is a diagnostic over-approximation while the monitor envelope
+// is the enforcement layer.  A tol ≤ 0 uses the guard's default
+// round-off tolerance.  Pass nil to disarm.
+func (g *Guard) SetCertifiedRange(f func() (lo, hi float64, ok bool), tol float64) {
+	if tol <= 0 {
+		tol = rangeTol
+	}
+	g.certified, g.certTol = f, tol
+}
 
 // Stats returns the episode statistics accumulated so far.
 func (g *Guard) Stats() EpisodeStats {
@@ -392,6 +422,18 @@ func (g *Guard) Step(plan func() (float64, bool), emergency func() float64, simL
 		}
 		if !em {
 			g.lastGood, g.hasLastGood, g.lastGoodAge = a, true, 0
+			// IBP cross-check on the executed κ_n command.  Emergency and
+			// bypass steps execute κ_e, which the certified range does not
+			// describe, so only this arm is checked.
+			if g.certified != nil {
+				if lo, hi, ok := g.certified(); ok {
+					g.stats.CertifiedSteps++
+					if a < lo-g.certTol || a > hi+g.certTol {
+						g.stats.CertifiedRangeMisses++
+						r.CertifiedMiss = true
+					}
+				}
+			}
 		}
 		return a, em, r
 	}

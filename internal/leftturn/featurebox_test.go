@@ -1,0 +1,144 @@
+package leftturn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"safeplan/internal/dynamics"
+	"safeplan/internal/interval"
+)
+
+// featureTol absorbs floating-point slack in the corner bracket: the
+// window times are monotone in the estimate endpoints in real arithmetic,
+// but TimeToReach/TimeToCover round to nearest, so a sub-estimate's
+// feature can escape the corner hull by an ulp or two.
+const featureTol = 1e-9
+
+// subEstimate draws an estimate whose P/V intervals (and point values)
+// lie inside sound's, sharing its acceleration — exactly the family
+// FeatureBoxInto certifies over, which includes the fused estimate.
+func subEstimate(rng *rand.Rand, sound OncomingEstimate) OncomingEstimate {
+	sub := func(iv interval.Interval) interval.Interval {
+		a := iv.Lo + rng.Float64()*iv.Width()
+		b := iv.Lo + rng.Float64()*iv.Width()
+		return interval.New(math.Min(a, b), math.Max(a, b))
+	}
+	p, v := sub(sound.P), sub(sound.V)
+	return OncomingEstimate{
+		P: p, V: v,
+		PointP: p.Lo + rng.Float64()*p.Width(),
+		PointV: v.Lo + rng.Float64()*v.Width(),
+		A:      sound.A,
+	}
+}
+
+// TestFeatureBoxContainment is the bracketing property the certified
+// range rests on: for random sound estimates and random sub-estimates,
+// the point features computed from the sub-estimate's window lie inside
+// the interval feature box computed from the sound estimate alone.
+func TestFeatureBoxContainment(t *testing.T) {
+	c := cfg()
+	for _, aggr := range []bool{false, true} {
+		name := "conservative"
+		if aggr {
+			name = "aggressive"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			var feat [FeatureCount]float64
+			var box [FeatureCount]interval.Interval
+			for caseNo := 0; caseNo < 400; caseNo++ {
+				pc := rng.Float64()*160 - 120 // straddle the zone [PB, PF]
+				vc := rng.Float64() * 22
+				sound := OncomingEstimate{
+					P: interval.New(pc, pc+rng.Float64()*40),
+					V: interval.New(math.Max(0, vc-rng.Float64()*6), vc),
+					A: rng.Float64()*6 - 3,
+				}
+				ego := dynamics.State{P: rng.Float64()*40 - 30, V: rng.Float64() * 15}
+				tm := rng.Float64() * 20
+				c.FeatureBoxInto(box[:], tm, ego, sound, aggr)
+				for i, iv := range box {
+					if iv.IsEmpty() || math.IsNaN(iv.Lo) || math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) {
+						t.Fatalf("case %d: feature %d box is bad: %v", caseNo, i, iv)
+					}
+				}
+				for s := 0; s < 30; s++ {
+					est := sound
+					if s > 0 {
+						est = subEstimate(rng, sound)
+					}
+					var w interval.Interval
+					if aggr {
+						w = c.AggressiveWindow(est)
+					} else {
+						w = c.ConservativeWindow(est)
+					}
+					FeaturesInto(feat[:], tm, ego, w)
+					for i, f := range feat {
+						if f < box[i].Lo-featureTol || f > box[i].Hi+featureTol {
+							t.Fatalf("case %d sample %d: feature %d = %v escapes box %v (sound %+v, est %+v)",
+								caseNo, s, i, f, box[i], sound, est)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFeatureBoxPointEstimate pins exactness on degenerate sound sets: a
+// point estimate's feature box collapses to the point features bitwise,
+// matching the ibp point-box guarantee downstream.
+func TestFeatureBoxPointEstimate(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewSource(37))
+	var feat [FeatureCount]float64
+	var box [FeatureCount]interval.Interval
+	for caseNo := 0; caseNo < 300; caseNo++ {
+		p := rng.Float64()*160 - 120
+		v := rng.Float64() * 22
+		est := OncomingEstimate{
+			P: interval.Point(p), V: interval.Point(v),
+			PointP: p, PointV: v, A: rng.Float64()*6 - 3,
+		}
+		ego := dynamics.State{P: rng.Float64()*40 - 30, V: rng.Float64() * 15}
+		tm := rng.Float64() * 20
+		for _, aggr := range []bool{false, true} {
+			var w interval.Interval
+			if aggr {
+				w = c.AggressiveWindow(est)
+			} else {
+				w = c.ConservativeWindow(est)
+			}
+			FeaturesInto(feat[:], tm, ego, w)
+			c.FeatureBoxInto(box[:], tm, ego, est, aggr)
+			for i, f := range feat {
+				if box[i].Lo != f || box[i].Hi != f {
+					t.Fatalf("case %d aggr=%v: feature %d box [%v, %v] is not the point %v",
+						caseNo, aggr, i, box[i].Lo, box[i].Hi, f)
+				}
+			}
+		}
+	}
+}
+
+// TestFeatureBoxEmptySound pins the degenerate inputs: empty or
+// surely-passed sound sets produce the (cap, cap) empty-window features.
+func TestFeatureBoxEmptySound(t *testing.T) {
+	c := cfg()
+	ego := dynamics.State{P: -20, V: 8}
+	var box [FeatureCount]interval.Interval
+	for _, est := range []OncomingEstimate{
+		{P: interval.Empty(), V: interval.New(0, 5)},
+		{P: interval.New(-10, 0), V: interval.Empty()},
+		{P: interval.New(c.Geometry.PB + 1, c.Geometry.PB + 5), V: interval.New(0, 5)},
+	} {
+		c.FeatureBoxInto(box[:], 3, ego, est, false)
+		cap := interval.Point(float64(FeatureTimeCap))
+		if box[3] != cap || box[4] != cap {
+			t.Fatalf("estimate %+v: window features %v, %v, want point %v", est, box[3], box[4], cap)
+		}
+	}
+}

@@ -185,24 +185,33 @@ func ExactEstimate(s dynamics.State, a float64) OncomingEstimate {
 // maximum braking, velocity floor).  The true passing window is contained
 // in the result whenever the estimate is sound.
 func (c Config) ConservativeWindow(est OncomingEstimate) interval.Interval {
-	g, lim := c.Geometry, c.Oncoming
 	if est.P.IsEmpty() || est.V.IsEmpty() {
 		return interval.Empty()
 	}
-	if est.P.Lo >= g.PB {
+	if est.P.Lo >= c.Geometry.PB {
 		return interval.Empty() // surely past the zone
 	}
-	tEntry := dynamics.TimeToReach(g.PF-est.P.Hi, est.V.Hi, lim.AMax, lim.VMax)
-	tExit := dynamics.TimeToCover(g.PB-est.P.Lo, est.V.Lo, lim.AMin, lim.VMin, lim.VMax)
+	tEntry, tExit := c.conservativeTimes(est)
 	if math.IsInf(tEntry, 1) {
 		// Even flat-out C1 cannot reach the zone (cannot happen with
 		// AMax > 0 and finite distance, but guard anyway).
 		return interval.Empty()
 	}
+	return interval.New(tEntry, tExit)
+}
+
+// conservativeTimes computes Eq. 7's raw entry/exit pair (exit clamped to
+// the entry) without the emptiness handling.  Both times are monotone
+// nonincreasing in the estimate's position and velocity endpoints, which
+// is what FeatureBoxInto's corner bracketing relies on.
+func (c Config) conservativeTimes(est OncomingEstimate) (tEntry, tExit float64) {
+	g, lim := c.Geometry, c.Oncoming
+	tEntry = dynamics.TimeToReach(g.PF-est.P.Hi, est.V.Hi, lim.AMax, lim.VMax)
+	tExit = dynamics.TimeToCover(g.PB-est.P.Lo, est.V.Lo, lim.AMin, lim.VMin, lim.VMax)
 	if tExit < tEntry {
 		tExit = tEntry
 	}
-	return interval.New(tEntry, tExit)
+	return tEntry, tExit
 }
 
 // AggressiveWindow implements paper Eq. 8: instead of physical limits it
@@ -217,30 +226,42 @@ func (c Config) ConservativeWindow(est OncomingEstimate) interval.Interval {
 // aggressive window too, degrading efficiency gracefully rather than
 // silently betting harder.
 func (c Config) AggressiveWindow(est OncomingEstimate) interval.Interval {
-	g, lim := c.Geometry, c.Oncoming
 	if est.P.IsEmpty() || est.V.IsEmpty() {
 		return interval.Empty()
 	}
-	if est.P.Lo >= g.PB {
+	if est.P.Lo >= c.Geometry.PB {
 		return interval.Empty()
 	}
-	vEntry := est.V.Hi
-	aFast := math.Min(est.A+c.ABuf, lim.AMax)
-	vFast := math.Min(vEntry+c.VBuf, lim.VMax)
-	tEntry := dynamics.TimeToReach(g.PF-est.P.Hi, vEntry, aFast, vFast)
+	tEntry, tExit := c.aggressiveTimes(est)
 	if math.IsInf(tEntry, 1) {
 		// Under the buffered assumption C1 never arrives: treat as no
 		// conflict (this is exactly the aggressive bet).
 		return interval.Empty()
 	}
+	return interval.New(tEntry, tExit)
+}
+
+// aggressiveTimes computes Eq. 8's raw entry/exit pair (exit clamped to
+// the entry) without the emptiness handling.  The buffered accelerations
+// aFast/aSlow depend only on the point acceleration estimate, so for a
+// fixed est.A both times are monotone nonincreasing in the position and
+// velocity endpoints — the bracketing property FeatureBoxInto relies on
+// (the entry's velocity cap and the exit's velocity floor move *with*
+// their endpoints, preserving the ordering).
+func (c Config) aggressiveTimes(est OncomingEstimate) (tEntry, tExit float64) {
+	g, lim := c.Geometry, c.Oncoming
+	vEntry := est.V.Hi
+	aFast := math.Min(est.A+c.ABuf, lim.AMax)
+	vFast := math.Min(vEntry+c.VBuf, lim.VMax)
+	tEntry = dynamics.TimeToReach(g.PF-est.P.Hi, vEntry, aFast, vFast)
 	vExit := est.V.Lo
 	aSlow := math.Max(est.A-c.ABuf, lim.AMin)
 	vSlow := math.Max(vExit-c.VBuf, lim.VMin)
-	tExit := dynamics.TimeToCover(g.PB-est.P.Lo, vExit, aSlow, vSlow, lim.VMax)
+	tExit = dynamics.TimeToCover(g.PB-est.P.Lo, vExit, aSlow, vSlow, lim.VMax)
 	if tExit < tEntry {
 		tExit = tEntry
 	}
-	return interval.New(tEntry, tExit)
+	return tEntry, tExit
 }
 
 // InUnsafeSet implements paper Eq. 6 on the estimated oncoming window:
@@ -444,4 +465,68 @@ func FeaturesInto(dst []float64, t float64, ego dynamics.State, oncoming interva
 		tMax = math.Min(oncoming.Hi, FeatureTimeCap)
 	}
 	dst[0], dst[1], dst[2], dst[3], dst[4] = t, ego.P, ego.V, tMin, tMax
+}
+
+// FeatureBox returns a fresh interval feature box; see FeatureBoxInto.
+func (c Config) FeatureBox(t float64, ego dynamics.State, sound OncomingEstimate, aggressive bool) []interval.Interval {
+	dst := make([]interval.Interval, FeatureCount)
+	c.FeatureBoxInto(dst, t, ego, sound, aggressive)
+	return dst
+}
+
+// FeatureBoxInto is the interval twin of FeaturesInto: it writes into dst
+// (length ≥ FeatureCount) a box guaranteed to contain the feature vector
+// Features(t, ego, W(e)) for *every* oncoming estimate e whose position and
+// velocity intervals lie inside the sound estimate's and whose point
+// acceleration equals sound.A — in particular for the fused (Kalman-joined)
+// estimate the planner actually sees, which the filter keeps inside the
+// sound set by construction.  W is the aggressive window (Eq. 8) when
+// aggressive is set and the conservative one (Eq. 7) otherwise, matching
+// which window the certified agent feeds its planner.
+//
+// Time, ego position, and ego velocity are exactly known, so the first
+// three features are point intervals.  The window features are bracketed
+// at two corner estimates — nearest/fastest (entry's earliest corner) and
+// farthest/slowest (exit's latest corner): both window times are monotone
+// nonincreasing in the estimate's position/velocity endpoints, the
+// FeatureTimeCap saturation is monotone, and the empty-window encoding
+// (cap, cap) is folded in whenever some estimate in the sound set can
+// already have passed the zone (sound.P.Hi ≥ PB) or never arrive (an
+// infinite corner entry saturates to the cap on the far side).  The box is
+// always finite, so it is a valid ibp input.
+func (c Config) FeatureBoxInto(dst []interval.Interval, t float64, ego dynamics.State, sound OncomingEstimate, aggressive bool) {
+	dst[0] = interval.Point(t)
+	dst[1] = interval.Point(ego.P)
+	dst[2] = interval.Point(ego.V)
+	const tcap = float64(FeatureTimeCap)
+	if sound.P.IsEmpty() || sound.V.IsEmpty() || sound.P.Lo >= c.Geometry.PB {
+		// Every estimate inside the sound set yields an empty window.
+		dst[3], dst[4] = interval.Point(tcap), interval.Point(tcap)
+		return
+	}
+	near := OncomingEstimate{
+		P: interval.Point(sound.P.Hi), V: interval.Point(sound.V.Hi),
+		PointP: sound.P.Hi, PointV: sound.V.Hi, A: sound.A,
+	}
+	far := OncomingEstimate{
+		P: interval.Point(sound.P.Lo), V: interval.Point(sound.V.Lo),
+		PointP: sound.P.Lo, PointV: sound.V.Lo, A: sound.A,
+	}
+	var enN, exN, enF, exF float64
+	if aggressive {
+		enN, exN = c.aggressiveTimes(near)
+		enF, exF = c.aggressiveTimes(far)
+	} else {
+		enN, exN = c.conservativeTimes(near)
+		enF, exF = c.conservativeTimes(far)
+	}
+	f3lo, f3hi := math.Min(enN, tcap), math.Min(enF, tcap)
+	f4lo, f4hi := math.Min(exN, tcap), math.Min(exF, tcap)
+	if sound.P.Hi >= c.Geometry.PB {
+		// The near corner has surely passed the zone: the empty-window
+		// features (cap, cap) are reachable inside the sound set.
+		f3hi, f4hi = tcap, tcap
+	}
+	dst[3] = interval.New(math.Min(f3lo, f3hi), math.Max(f3lo, f3hi))
+	dst[4] = interval.New(math.Min(f4lo, f4hi), math.Max(f4lo, f4hi))
 }

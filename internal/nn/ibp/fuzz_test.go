@@ -1,0 +1,98 @@
+package ibp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"safeplan/internal/interval"
+	"safeplan/internal/nn"
+)
+
+// byteAt reads data[i] with a zero default, so short fuzz inputs still
+// decode a full configuration.
+func byteAt(data []byte, i int) byte {
+	if i < len(data) {
+		return data[i]
+	}
+	return 0
+}
+
+// FuzzIBPContainment drives the soundness property from fuzzer-chosen
+// network shapes, activations, normalizers, and input boxes: every sampled
+// point evaluation must land inside the certified interval, and the
+// degenerate midpoint box must reproduce Predict1 exactly.  The committed
+// seed corpus (testdata/fuzz/FuzzIBPContainment) covers every activation
+// and both normalizer arms; make check replays it, make fuzz-smoke
+// explores beyond it.
+func FuzzIBPContainment(f *testing.F) {
+	f.Add([]byte{0x00, 0x03, 0x00, 0x00, 0x10, 0x20}, int64(1))
+	f.Add([]byte{0x01, 0x05, 0x01, 0x01, 0x7f, 0x01}, int64(42))
+	f.Add([]byte{0x02, 0x0b, 0x02, 0x00, 0x40, 0xc0}, int64(7))
+	f.Add([]byte{0x03, 0x07, 0x03, 0x01, 0x00, 0xff}, int64(13))
+	f.Add([]byte{0x04, 0x01, 0x04, 0x00, 0x90, 0x33, 0x55, 0xaa}, int64(99))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		in := 1 + int(byteAt(data, 0))%5
+		hidden := 1 + int(byteAt(data, 1))%12
+		acts := []nn.Activation{nn.ReLU{}, nn.LeakyReLU{}, nn.Tanh{}, nn.Sigmoid{}, nn.Identity{}}
+		act := acts[int(byteAt(data, 2))%len(acts)]
+		sizes := []int{in, hidden, 1}
+		if byteAt(data, 3)%2 == 1 {
+			sizes = []int{in, hidden, 1 + int(byteAt(data, 3))%6, 1}
+		}
+		net := nn.NewMLP(rng, act, sizes...)
+		var norm *nn.Normalizer
+		if byteAt(data, 4)%2 == 1 {
+			norm = &nn.Normalizer{Mean: make([]float64, in), Std: make([]float64, in)}
+			for j := 0; j < in; j++ {
+				norm.Mean[j] = rng.Float64()*4 - 2
+				norm.Std[j] = 0.1 + rng.Float64()*3
+			}
+		}
+		p, err := New(net, norm)
+		if err != nil {
+			t.Fatalf("New rejected a monotone network: %v", err)
+		}
+		box := make([]interval.Interval, in)
+		for k := range box {
+			c := float64(int8(byteAt(data, 5+2*k))) / 8
+			w := float64(byteAt(data, 6+2*k)) / 32
+			box[k] = interval.New(c-w, c+w)
+		}
+		scr := p.NewScratch()
+		out := p.PredictInterval1(box, scr)
+		if out.IsEmpty() || math.IsNaN(out.Lo) || math.IsNaN(out.Hi) {
+			t.Fatalf("bad certified interval %v for box %v", out, box)
+		}
+		x := make([]float64, in)
+		xn := make([]float64, in)
+		for s := 0; s < 32; s++ {
+			for k := range x {
+				x[k] = box[k].Lo + rng.Float64()*(box[k].Hi-box[k].Lo)
+			}
+			copy(xn, x)
+			if norm != nil {
+				norm.Apply(xn)
+			}
+			y := net.Predict1(xn)
+			if tol := tolFor(out); y < out.Lo-tol || y > out.Hi+tol {
+				t.Fatalf("Predict1 = %v escapes certified %v (box %v, sample %v)", y, out, box, x)
+			}
+		}
+		point := make([]interval.Interval, in)
+		for k := range point {
+			m := box[k].Mid()
+			point[k] = interval.Point(m)
+			xn[k] = m
+		}
+		if norm != nil {
+			norm.Apply(xn)
+		}
+		y := net.Predict1(xn)
+		pout := p.PredictInterval1(point, scr)
+		if pout.Lo != y || pout.Hi != y {
+			t.Fatalf("point box gives [%v, %v], Predict1 gives %v", pout.Lo, pout.Hi, y)
+		}
+	})
+}

@@ -59,6 +59,12 @@ func NewGuardedStep(gcfg *guard.Config, fm faultinject.Model, lim dynamics.Limit
 // Stats returns the guard's episode statistics accumulated so far.
 func (gs *GuardedStep) Stats() guard.EpisodeStats { return gs.g.Stats() }
 
+// SetCertifiedRange arms the guard's IBP cross-check (see
+// guard.Guard.SetCertifiedRange).
+func (gs *GuardedStep) SetCertifiedRange(f func() (lo, hi float64, ok bool), tol float64) {
+	gs.g.SetCertifiedRange(f, tol)
+}
+
 // Step runs one guarded planner invocation, threading the injector (when
 // configured) inside the guard so injected panics and latencies are
 // contained and accounted like genuine ones.  envelope, when non-nil,

@@ -8,6 +8,7 @@ import (
 	"safeplan/internal/fusion"
 	"safeplan/internal/sensor"
 	"safeplan/internal/traffic"
+	"safeplan/internal/xrand"
 )
 
 // Scratch is an episode-scoped arena: it owns the per-episode objects the
@@ -30,6 +31,12 @@ import (
 type Scratch struct {
 	rngs []*rand.Rand
 	nRng int
+
+	// Paired xrand sources and the rand.Rands wrapping them, for the
+	// batch-seeded derived streams (see XRands).  Reseeded in place every
+	// episode, so no per-use counter is needed.
+	xsrcs  []*xrand.Source
+	xrands []*rand.Rand
 
 	channels []*comms.Channel
 	nChan    int
@@ -95,6 +102,30 @@ func (s *Scratch) RNG(seed int64) *rand.Rand {
 	s.rngs = append(s.rngs, r)
 	s.nRng++
 	return r
+}
+
+// XRands returns n paired xrand sources and the rand.Rands wrapping them,
+// growing the pool as needed.  Callers reseed the sources (typically one
+// xrand.SeedMany over all of them) before drawing from the wrappers; a
+// reseeded xrand.Source reproduces the exact stream of a freshly seeded
+// math/rand source, so the pooled and allocate-fresh paths stay
+// bit-identical.  Nil receivers allocate fresh pairs.
+func (s *Scratch) XRands(n int) ([]*xrand.Source, []*rand.Rand) {
+	if s == nil {
+		srcs := make([]*xrand.Source, n)
+		rngs := make([]*rand.Rand, n)
+		for i := range srcs {
+			srcs[i] = &xrand.Source{}
+			rngs[i] = rand.New(srcs[i])
+		}
+		return srcs, rngs
+	}
+	for len(s.xsrcs) < n {
+		src := &xrand.Source{}
+		s.xsrcs = append(s.xsrcs, src)
+		s.xrands = append(s.xrands, rand.New(src))
+	}
+	return s.xsrcs[:n], s.xrands[:n]
 }
 
 // Channel returns a channel configured like comms.NewChannel(cfg, rng),

@@ -75,6 +75,14 @@ type Config struct {
 	// action or κ_e.  Zero Limits are filled from Scenario.Ego.
 	Guard *guard.Config
 
+	// Certify, when non-nil, enables verified mode: each clean
+	// non-emergency planner command is cross-checked against the
+	// IBP-certified output range of the planner network over the sound
+	// estimate, and misses are counted in Result / guard / campaign
+	// stats.  See CertifyConfig; nil keeps the point-evaluation hot path
+	// byte-identical.
+	Certify *CertifyConfig
+
 	// PlannerFault, when non-nil, injects compute faults into the planner
 	// (internal/faultinject): panics, NaN outputs, stuck or biased
 	// actuation, latency spikes.  A guard is installed automatically
@@ -176,6 +184,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("sim: %w", err)
 		}
 	}
+	if c.Certify != nil {
+		if err := c.Certify.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -240,6 +253,14 @@ type Result struct {
 	// All-zero (with WorstState/FinalState Nominal) when no guard is
 	// configured.
 	Guard guard.EpisodeStats
+
+	// CertifiedSteps counts executed κ_n commands cross-checked against
+	// the IBP certified range; CertifiedRangeMisses counts those that
+	// fell outside it.  Both zero unless Config.Certify enabled verified
+	// mode.  A nonzero miss count on a clean run means the certified
+	// range or its wiring is wrong — the ibp-gate pins it at zero.
+	CertifiedSteps       int
+	CertifiedRangeMisses int
 
 	Trace []Sample
 }

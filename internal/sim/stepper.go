@@ -16,6 +16,7 @@ import (
 	"safeplan/internal/sensor"
 	"safeplan/internal/telemetry"
 	"safeplan/internal/traffic"
+	"safeplan/internal/xrand"
 )
 
 // StepInput carries externally streamed events into one control step of a
@@ -101,9 +102,16 @@ type Stepper struct {
 	// Hot-path closures, built once per Stepper (not per episode): they
 	// capture only the receiver pointer and read its fields at call time,
 	// so a pooled Stepper re-runs episodes without re-allocating them.
-	plan  func() (float64, bool)
-	emerg func() float64
-	env   func() (float64, float64, bool)
+	plan   func() (float64, bool)
+	emerg  func() float64
+	env    func() (float64, float64, bool)
+	certFn func() (float64, float64, bool)
+
+	// Verified-mode state (Config.Certify); certOn gates every use, so a
+	// disabled run pays one bool check per step.  cert.scr survives reset
+	// like the closures, keeping pooled verified episodes allocation-free.
+	cert   certifier
+	certOn bool
 
 	t    float64
 	know core.Knowledge
@@ -137,16 +145,28 @@ func NewStepper(cfg Config, agent core.Agent, opts Options) (*Stepper, error) {
 	st.reset(cfg, agent, opts)
 
 	master := sh.RNG(opts.Seed)
-	// Independent streams, seeded deterministically from the master.
-	driverRng := sh.RNG(master.Int63())
-	chanRng := sh.RNG(master.Int63())
-	sensRng := sh.RNG(master.Int63())
-	initRng := sh.RNG(master.Int63())
-	st.sensDropRng = sh.RNG(master.Int63())
-	// Disturbance streams derive last so legacy configurations keep their
-	// exact per-seed behaviour.
+	// Independent streams, seeded deterministically from the master — the
+	// seeds draw in the historical order (driver, channel, sensor, init,
+	// sensor-drop, then the disturbance stream last so legacy
+	// configurations keep their exact per-seed behaviour), but the derived
+	// sources seed together through xrand.SeedMany, which interleaves the
+	// generator warm-up across lanes.  xrand.Source is a bit-exact
+	// math/rand replica, so every derived stream is byte-identical to the
+	// historical per-source reseed (the goldens and BENCH_seed pin this).
+	var seeds [6]int64
+	nStreams := 5
 	if cfg.SensorDisturb != nil {
-		st.sensProc = cfg.SensorDisturb.NewSensor(sh.RNG(master.Int63()))
+		nStreams = 6
+	}
+	for i := 0; i < nStreams; i++ {
+		seeds[i] = master.Int63()
+	}
+	srcs, rngs := sh.XRands(nStreams)
+	xrand.SeedMany(srcs, seeds[:nStreams])
+	driverRng, chanRng, sensRng, initRng := rngs[0], rngs[1], rngs[2], rngs[3]
+	st.sensDropRng = rngs[4]
+	if cfg.SensorDisturb != nil {
+		st.sensProc = cfg.SensorDisturb.NewSensor(rngs[5])
 	}
 	// Planner-fault streams derive after the disturbance streams, under the
 	// same compatibility rule.
@@ -210,6 +230,13 @@ func NewStepper(cfg Config, agent core.Agent, opts Options) (*Stepper, error) {
 	st.dt = sc.DtC
 	st.maxSteps = int(horizon/st.dt) + 1
 
+	if cfg.Certify != nil {
+		if err := st.cert.init(cfg.Certify, sc.Ego, agent); err != nil {
+			return nil, err
+		}
+		st.certOn = true
+	}
+
 	if st.plan == nil {
 		// Built once per pooled Stepper; the closures read the receiver's
 		// fields, so reuse across episodes adds no per-episode allocation.
@@ -218,14 +245,24 @@ func NewStepper(cfg Config, agent core.Agent, opts Options) (*Stepper, error) {
 		st.env = func() (float64, float64, bool) {
 			return st.mon.Assess(st.ego, st.sc.ConservativeWindow(st.know.Sound)).Envelope(st.sc.Ego)
 		}
+		st.certFn = func() (float64, float64, bool) {
+			st.cert.lo, st.cert.hi, st.cert.ok = st.cert.rangeAt(st.t, st.ego, st.sc, st.know)
+			return st.cert.lo, st.cert.hi, st.cert.ok
+		}
+	}
+	if st.certOn && st.gs != nil {
+		st.gs.SetCertifiedRange(st.certFn, st.cert.tol)
 	}
 	return st, nil
 }
 
-// reset clears per-episode state while keeping the reusable closures.
+// reset clears per-episode state while keeping the reusable closures and
+// the IBP scratch.
 func (st *Stepper) reset(cfg Config, agent core.Agent, opts Options) {
-	plan, emerg, env := st.plan, st.emerg, st.env
-	*st = Stepper{plan: plan, emerg: emerg, env: env}
+	plan, emerg, env, certFn := st.plan, st.emerg, st.env, st.certFn
+	certScr := st.cert.scr
+	*st = Stepper{plan: plan, emerg: emerg, env: env, certFn: certFn}
+	st.cert.scr = certScr
 	st.cfg = cfg
 	st.agent = agent
 	st.opts = opts
@@ -321,12 +358,30 @@ func (st *Stepper) Step(in StepInput) (StepOutcome, error) {
 	if st.coll != nil {
 		start = time.Now()
 	}
+	if st.certOn {
+		st.cert.lo, st.cert.hi, st.cert.ok = 0, 0, false
+	}
 	if st.gs != nil {
+		// The guard runs the certified-range cross-check itself (armed via
+		// SetCertifiedRange) so misses land in its fault accounting.
 		a0, emergency, gres = st.gs.Step(t, st.plan, st.emerg, st.env)
 	} else {
 		a0, emergency = st.plan()
+		if st.certOn && !emergency {
+			if lo, hi, ok := st.certFn(); ok {
+				res.CertifiedSteps++
+				if a0 < lo-st.cert.tol || a0 > hi+st.cert.tol {
+					res.CertifiedRangeMisses++
+					gres.CertifiedMiss = true
+				}
+			}
+		}
 	}
 	if st.coll != nil {
+		var certW float64
+		if st.cert.ok {
+			certW = st.cert.hi - st.cert.lo
+		}
 		st.coll.OnStep(telemetry.StepProbe{
 			T:          t,
 			Emergency:  emergency,
@@ -335,6 +390,8 @@ func (st *Stepper) Step(in StepInput) (StepOutcome, error) {
 			ConsWidth:  sc.ConservativeWindow(st.know.Fused).Width(),
 			AggrWidth:  sc.AggressiveWindow(st.know.Fused).Width(),
 			PlannerNs:  time.Since(start).Nanoseconds(),
+			CertWidth:  certW,
+			CertMiss:   gres.CertifiedMiss,
 		})
 		if st.gs != nil {
 			st.gs.Report(st.coll, t, gres)
@@ -447,6 +504,10 @@ func (st *Stepper) Finish() (Result, error) {
 	ReportOutcome(st.coll, st.opts.Seed, &st.res)
 	if st.gs != nil {
 		st.res.Guard = st.gs.Stats()
+		// The guard owns the cross-check on guarded runs; fold its
+		// counters so Result reads the same either way.
+		st.res.CertifiedSteps += st.res.Guard.CertifiedSteps
+		st.res.CertifiedRangeMisses += st.res.Guard.CertifiedRangeMisses
 	}
 	if st.err == nil && len(st.opts.Invariants) > 0 {
 		st.err = CheckEpisodeInvariants(st.opts.Invariants, &st.res)

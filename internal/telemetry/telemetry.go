@@ -59,6 +59,12 @@ type StepProbe struct {
 
 	// PlannerNs is the wall-clock latency of the agent's decision [ns].
 	PlannerNs int64
+
+	// CertWidth is the width of the IBP-certified planner output range
+	// [m/s²] when verified mode is enabled (zero otherwise); CertMiss is
+	// set on the steps where the executed command escaped that range.
+	CertWidth float64
+	CertMiss  bool
 }
 
 // EpisodeOutcome is the scored result of one finished episode.

@@ -40,6 +40,7 @@ import (
 	"safeplan/internal/guard"
 	"safeplan/internal/interval"
 	"safeplan/internal/leftturn"
+	"safeplan/internal/nn/ibp"
 	"safeplan/internal/planner"
 	"safeplan/internal/sensor"
 	"safeplan/internal/serve"
@@ -228,6 +229,29 @@ func FaultInvariants(sc Scenario) []Invariant {
 	}
 }
 
+// Certified interval bound propagation (internal/nn/ibp): verified mode
+// cross-checks every executed κ_n command against a sound interval
+// enclosure of the NN planner's output, flagging (never substituting —
+// the monitor envelope stays the enforcement layer) any command outside
+// the certified range.  See DESIGN.md §15 for the soundness argument.
+type (
+	// IBPPropagator propagates interval boxes through an NN planner's MLP
+	// with sign-split interval affine arithmetic; a point box reproduces
+	// the scalar forward pass bit for bit.
+	IBPPropagator = ibp.Propagator
+	// CertifyConfig enables verified mode on a left-turn simulation
+	// config (see SimConfig.Certify and WithCertify).
+	CertifyConfig = sim.CertifyConfig
+)
+
+// NewIBPPropagator snapshots a trained NN planner into an interval
+// propagator for verified mode.  The snapshot is deep: later planner
+// training does not affect the propagator.
+func NewIBPPropagator(p *NNPlanner) (*IBPPropagator, error) {
+	prop, err := ibp.New(p.Net, p.Norm)
+	return prop, wrapErr(err)
+}
+
 // NewConservativeExpert returns the yield-first expert policy κ_n,cons.
 func NewConservativeExpert(sc Scenario) *Expert { return planner.ConservativeExpert(sc) }
 
@@ -301,6 +325,7 @@ type runSettings struct {
 	sensorDist disturb.SensorModel
 	guard      *guard.Config
 	fault      faultinject.Model
+	certify    *sim.CertifyConfig
 }
 
 // WithTrace records the per-step trace in the episode result.  It is
@@ -355,6 +380,18 @@ func WithSensorDisturbance(m SensorDisturbanceModel) RunOption {
 //	res, err := safeplan.RunEpisode(cfg, agent, 1, safeplan.WithGuard(gc))
 func WithGuard(cfg GuardConfig) RunOption {
 	return func(s *runSettings) { s.guard = &cfg }
+}
+
+// WithCertify enables IBP verified mode on left-turn entry points: every
+// executed κ_n command is cross-checked against the certified output
+// range and counted in EpisodeResult.CertifiedSteps /
+// CertifiedRangeMisses.  Verified mode is observation-only — it never
+// changes the episode.  Car-following entry points ignore it.
+//
+//	prop, _ := safeplan.NewIBPPropagator(kn)
+//	res, err := safeplan.RunEpisode(cfg, agent, 1, safeplan.WithCertify(safeplan.CertifyConfig{Prop: prop}))
+func WithCertify(cfg CertifyConfig) RunOption {
+	return func(s *runSettings) { s.certify = &cfg }
 }
 
 // WithPlannerFault injects compute faults into every planner invocation
@@ -426,6 +463,9 @@ func (s runSettings) applySim(cfg *sim.Config) {
 	}
 	if s.fault != nil {
 		cfg.PlannerFault = s.fault
+	}
+	if s.certify != nil {
+		cfg.Certify = s.certify
 	}
 }
 
