@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-batch bench-campaign bench-seed bench-guard bench-perf bench-ibp campaign-smoke guard-smoke alloc-gate serve-smoke ibp-gate golden fuzz-smoke lint-extra
+.PHONY: build test check bench bench-batch bench-campaign bench-seed bench-guard bench-perf bench-ibp campaign-smoke guard-smoke alloc-gate serve-smoke dist-smoke ibp-gate golden fuzz-smoke lint-extra
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,14 @@ ibp-gate:
 # Server.Close, plus the full session-lifecycle suite.
 serve-smoke:
 	SERVE_SOAK_SESSIONS=500 $(GO) test ./internal/serve -count=1 -v
+
+# Distributed-campaign CI gate: a campaignd coordinator with two bench
+# -worker processes, one hard-killed mid-shard and revived from its
+# checkpoint; the folded stats must be byte-identical (cmp) to a
+# single-process run of the same campaign, and the revival must resume
+# mid-shard rather than recompute.  See scripts/dist_smoke.sh.
+dist-smoke:
+	./scripts/dist_smoke.sh
 
 # Go micro/macro benchmarks only (no unit tests alongside).
 bench:

@@ -34,6 +34,11 @@
 // each executed κ_n command cross-checked against the certified output
 // range.  Any certified-range miss fails the process; the report is
 // BENCH_ibp.json.  -models selects the trained-model directory.
+// -worker joins a campaignd coordinator as a distributed-campaign worker
+// (internal/dist): it leases shards, runs their episodes through the
+// workload registry, and submits aggregates that fold byte-identically
+// to a local run.  -worker-checkpoint gives the worker a mid-shard
+// resume file so a crashed worker restarts at the exact episode it left.
 // -checkpoint enables per-campaign checkpoint/resume in the given
 // directory: an interrupted bench rerun resumes completed shards instead
 // of redoing them.  A corrupt checkpoint file is discarded with a warning
@@ -54,22 +59,15 @@ import (
 	"strings"
 
 	"safeplan/internal/campaign"
-	"safeplan/internal/comms"
 	"safeplan/internal/core"
-	"safeplan/internal/disturb"
+	"safeplan/internal/dist"
 	"safeplan/internal/experiments"
 	"safeplan/internal/faultinject"
 	"safeplan/internal/guard"
 	"safeplan/internal/planner"
 	"safeplan/internal/sim"
+	"safeplan/internal/workloads"
 )
-
-// workload is one canonical campaign: a named configuration plus agent.
-type workload struct {
-	name  string
-	cfg   sim.Config
-	agent core.Agent
-}
 
 // benchReport is the file layout of BENCH_campaign.json / BENCH_seed.json.
 type benchReport struct {
@@ -119,8 +117,18 @@ func main() {
 		modelDir   = flag.String("models", "models", "trained-model directory for -ibp")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		workerAddr = flag.String("worker", "", "run as a distributed campaign worker against this campaignd address")
+		workerID   = flag.String("worker-id", "", "worker name in leases and telemetry (default: host-pid)")
+		workerCkpt = flag.String("worker-checkpoint", "", "mid-shard checkpoint file for crash resume (worker mode)")
+		workerKill = flag.Int("worker-kill-after", 0, "crash seam for the dist-smoke gate: hard-exit the process after N episodes, leaving mid-shard state on disk (0 disables)")
 	)
 	flag.Parse()
+
+	if *workerAddr != "" {
+		runDistWorker(*workerAddr, *workerID, *workerCkpt, *workerKill)
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -208,26 +216,26 @@ func main() {
 		report.BatchSize = *batchSize
 	}
 
-	matrix := canonicalMatrix(*quick)
+	matrix := workloads.CanonicalMatrix(*quick)
 	for i, wl := range matrix {
 		spec := campaign.Spec{
-			Name:            wl.name,
+			Name:            wl.Name,
 			Episodes:        n,
 			BaseSeed:        *seed,
 			Workers:         w,
 			BatchSize:       *batchSize,
-			Invariants:      invariantSet(wl.cfg),
+			Invariants:      wl.Invariants(),
 			CountViolations: true,
 		}
 		if *checkpoint != "" {
-			spec.CheckpointPath = filepath.Join(*checkpoint, sanitize(wl.name)+".json")
+			spec.CheckpointPath = filepath.Join(*checkpoint, sanitize(wl.Name)+".json")
 		}
 		rep, err := runCampaign(spec, wl)
 		if err != nil {
-			log.Fatalf("campaign %s: %v", wl.name, err)
+			log.Fatalf("campaign %s: %v", wl.Name, err)
 		}
 		log.Printf("%-28s %6d eps  %8.0f eps/s  safe %.4f [%.4f, %.4f]",
-			wl.name, rep.Stats.Episodes, rep.Perf.EpisodesPerSec,
+			wl.Name, rep.Stats.Episodes, rep.Perf.EpisodesPerSec,
 			rep.Stats.SafeRate.Rate, rep.Stats.SafeRate.Lo, rep.Stats.SafeRate.Hi)
 		report.Campaigns = append(report.Campaigns, rep)
 
@@ -237,16 +245,16 @@ func main() {
 			spec.Workers = 1
 			base, err := runWorkload(spec, wl)
 			if err != nil {
-				log.Fatalf("campaign %s (1 worker): %v", wl.name, err)
+				log.Fatalf("campaign %s (1 worker): %v", wl.Name, err)
 			}
 			report.Speedup = &speedup{
-				Campaign:        wl.name,
+				Campaign:        wl.Name,
 				Workers:         w,
 				EpisodesPerSec1: base.Perf.EpisodesPerSec,
 				EpisodesPerSecN: rep.Perf.EpisodesPerSec,
 				Factor:          rep.Perf.EpisodesPerSec / base.Perf.EpisodesPerSec,
 			}
-			log.Printf("%-28s speedup %.2fx at %d workers", wl.name, report.Speedup.Factor, w)
+			log.Printf("%-28s speedup %.2fx at %d workers", wl.Name, report.Speedup.Factor, w)
 		}
 	}
 
@@ -269,11 +277,11 @@ func main() {
 // lockstep batched campaign engine, keyed on Spec.BatchSize.  Both
 // produce bit-identical Stats (the batch parity suite asserts this);
 // only the execution shape differs.
-func runWorkload(spec campaign.Spec, wl workload) (*campaign.Report, error) {
+func runWorkload(spec campaign.Spec, wl workloads.Workload) (*campaign.Report, error) {
 	if spec.BatchSize > 1 {
-		return campaign.RunBatch(spec, campaign.LeftTurnBatch(wl.cfg, wl.agent))
+		return campaign.RunBatch(spec, wl.Batch())
 	}
-	return campaign.Run(spec, campaign.LeftTurn(wl.cfg, wl.agent))
+	return campaign.Run(spec, wl.Episode())
 }
 
 // runCampaign executes a spec, degrading gracefully when its checkpoint
@@ -281,7 +289,7 @@ func runWorkload(spec campaign.Spec, wl workload) (*campaign.Report, error) {
 // discarded with a warning and the campaign restarts fresh.  A
 // *fingerprint* mismatch still fails — that checkpoint belongs to a
 // different campaign and discarding it would hide the caller's mistake.
-func runCampaign(spec campaign.Spec, wl workload) (*campaign.Report, error) {
+func runCampaign(spec campaign.Spec, wl workloads.Workload) (*campaign.Report, error) {
 	rep, err := runWorkload(spec, wl)
 	if err != nil && spec.CheckpointPath != "" && errors.Is(err, campaign.ErrCorruptCheckpoint) {
 		log.Printf("WARNING: %v — discarding and restarting fresh", err)
@@ -291,66 +299,6 @@ func runCampaign(spec campaign.Spec, wl workload) (*campaign.Report, error) {
 		rep, err = runWorkload(spec, wl)
 	}
 	return rep, err
-}
-
-// canonicalMatrix builds the benchmark workloads: the paper's three
-// communication settings × both expert planners under the ultimate design,
-// plus two adversarial disturbance presets.  -quick keeps one workload per
-// axis so the snapshot stays cheap and stable.
-func canonicalMatrix(quick bool) []workload {
-	var out []workload
-	settings := experiments.StandardSettings()
-	short := map[string]string{
-		"no disturbance":   "none",
-		"messages delayed": "delayed",
-		"messages lost":    "lost",
-	}
-	kinds := []experiments.PlannerKind{experiments.Conservative, experiments.Aggressive}
-	if quick {
-		kinds = kinds[:1]
-	}
-	for _, s := range settings {
-		for _, k := range kinds {
-			cfg := experiments.SettingConfig(s)
-			cfg.InfoFilter = true
-			pl := experiments.ExpertPlanners(cfg.Scenario).Pick(k)
-			out = append(out, workload{
-				name:  short[s.Name] + "/ultimate-" + k.String(),
-				cfg:   cfg,
-				agent: core.NewUltimate(cfg.Scenario, pl),
-			})
-		}
-	}
-	presets := []string{"burst", "worst"}
-	if quick {
-		presets = presets[:1]
-	}
-	for _, p := range presets {
-		m, err := disturb.Preset(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg := sim.DefaultConfig()
-		cfg.Comms = comms.Disturbed(m)
-		cfg.InfoFilter = true
-		pl := experiments.ExpertPlanners(cfg.Scenario).Cons
-		out = append(out, workload{
-			name:  "disturb-" + p + "/ultimate-conservative",
-			cfg:   cfg,
-			agent: core.NewUltimate(cfg.Scenario, pl),
-		})
-	}
-	return out
-}
-
-// invariantSet is the full checker set for guaranteed compound designs.
-func invariantSet(cfg sim.Config) []sim.Invariant {
-	return []sim.Invariant{
-		sim.NoCollision{},
-		sim.SoundEstimate{},
-		sim.EmergencyOneStep{Cfg: cfg.Scenario},
-		sim.NewMonitorConsistency(cfg.Scenario),
-	}
 }
 
 // runSmoke is the CI safety gate: a clean (no-disturbance) and a disturbed
@@ -377,7 +325,7 @@ func runSmoke(workers int, seed int64) {
 			Episodes:   10_000,
 			BaseSeed:   seed,
 			Workers:    workers,
-			Invariants: invariantSet(cfg),
+			Invariants: workloads.InvariantSet(cfg),
 		}, campaign.LeftTurn(cfg, agent))
 		if err != nil {
 			log.Fatalf("SMOKE FAILED (%s): %v", s.label, err)
@@ -473,7 +421,7 @@ func runGuardMatrix(n, w int, seed int64, out, checkpoint string) {
 		if checkpoint != "" {
 			spec.CheckpointPath = filepath.Join(checkpoint, sanitize(spec.Name)+".json")
 		}
-		rep, err := runCampaign(spec, workload{name: spec.Name, cfg: cfg, agent: agent})
+		rep, err := runCampaign(spec, workloads.Workload{Name: spec.Name, Cfg: cfg, Agent: agent})
 		if err != nil {
 			log.Fatalf("campaign %s: %v", spec.Name, err)
 		}
@@ -540,6 +488,56 @@ func runGuardSmoke(workers int, seed int64) {
 		fmt.Printf("guard smoke OK (%s): %d episodes, safe %d/%d, %d contained faults, %.0f eps/s\n",
 			c.name, rep.Stats.Episodes, rep.Stats.Episodes-rep.Stats.Collided,
 			rep.Stats.Episodes, rep.Stats.GuardFaults, rep.Perf.EpisodesPerSec)
+	}
+}
+
+// runDistWorker joins a campaignd coordinator as a distributed-campaign
+// worker: lease shards, run episodes through the workload registry,
+// submit byte-identical aggregates, exit when the campaign completes or
+// the coordinator drains.  Workload resolution goes through the same
+// registry the local matrix uses, which is the whole point: identical
+// construction on both sides keeps remote episodes byte-identical to
+// local ones.
+func runDistWorker(addr, id, checkpoint string, killAfter int) {
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	log.Printf("worker %s joining coordinator at %s", id, addr)
+	cfg := dist.WorkerConfig{
+		ID:   id,
+		Dial: func() (dist.Conn, error) { return dist.DialTCP(addr) },
+		Resolve: func(name string) (campaign.EpisodeFunc, []sim.Invariant, error) {
+			wl, err := workloads.Lookup(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			return wl.Episode(), wl.Invariants(), nil
+		},
+		CheckpointPath: checkpoint,
+	}
+	if killAfter > 0 {
+		// os.Exit skips deferred cleanup and the pending lease release —
+		// deliberately: the gate wants a real abrupt death, with whatever
+		// mid-shard checkpoint happens to be on disk and a dangling lease
+		// the coordinator must expire.
+		ran := 0
+		cfg.AfterEpisode = func(shard, next int) error {
+			if ran++; ran >= killAfter {
+				log.Printf("worker %s: hard-exiting after %d episodes (shard %d) — dist-smoke crash seam", id, ran, shard)
+				os.Exit(137)
+			}
+			return nil
+		}
+	}
+	sum, err := dist.RunWorker(cfg)
+	log.Printf("worker %s: %d shards completed, %d episodes run, %d transport retries, %d leases lost, resumed=%v",
+		id, sum.ShardsCompleted, sum.EpisodesRun, sum.Retries, sum.LeasesLost, sum.Resumed)
+	if err != nil {
+		log.Fatalf("worker %s: %v", id, err)
 	}
 }
 

@@ -27,8 +27,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"safeplan/internal/serve"
@@ -43,6 +45,7 @@ func main() {
 		maxSess  = flag.Int("max-sessions", 0, "admission-control session cap (0 = default)")
 		mailbox  = flag.Int("mailbox", 0, "per-session mailbox bound (0 = default)")
 		idle     = flag.Duration("idle-timeout", time.Minute, "idle-session reap timeout (0 disables)")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: max wait for live sessions after SIGTERM/SIGINT")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load-generator client instead of the daemon")
 		self     = flag.Bool("self", false, "loadgen: host an in-process server instead of dialing -addr")
@@ -63,7 +66,7 @@ func main() {
 			addr: *addr, self: *self,
 			sessions: *sessions, conns: *conns, batch: *batch, maxSteps: *maxSteps,
 			scenario: *scenario, design: *design, planner: *planner, disturb: *disturb,
-			seed: *seed,
+			seed:   *seed,
 			server: serve.Config{Shards: *shards, MaxSessions: *maxSess, Mailbox: *mailbox, IdleTimeout: *idle},
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
@@ -90,11 +93,48 @@ func main() {
 			}
 		}()
 	}
+	// Graceful shutdown: the first SIGTERM/SIGINT stops admissions and
+	// drains live sessions up to -drain-timeout, then the final metrics
+	// snapshot is flushed to the log so the last scrape is never lost.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+
 	log.Printf("serving sessions on %s", *addr)
-	if err := srv.ListenAndServe(*addr); err != nil {
-		fmt.Fprintln(os.Stderr, "serve:", err)
-		os.Exit(1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigs:
+		signal.Stop(sigs) // a second signal force-kills via the default disposition
+		log.Printf("%s: draining (no new sessions; waiting up to %s for live sessions)", sig, *drain)
+		st, err := srv.Shutdown(*drain)
+		flushFinalMetrics(st, srv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// flushFinalMetrics logs the terminal /metrics payload — the same shape
+// the HTTP endpoint serves — so a scraper that misses the last interval
+// can still recover the final counters from the process log.
+func flushFinalMetrics(st serve.Stats, srv *serve.Server) {
+	payload := struct {
+		Server serve.Stats        `json:"server"`
+		Engine telemetry.Snapshot `json:"engine"`
+	}{st, srv.Metrics().Snapshot()}
+	raw, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		log.Printf("final metrics: %v", err)
+		return
+	}
+	log.Printf("final metrics:\n%s", raw)
 }
 
 type loadgenConfig struct {

@@ -70,6 +70,16 @@ type ShardStats struct {
 	// from non-verified campaigns serialize byte-identically to before.
 	CertifiedSteps       int64 `json:"certified_steps,omitempty"`
 	CertifiedRangeMisses int64 `json:"certified_range_misses,omitempty"`
+
+	// InvariantViolations counts violations by checker name within this
+	// shard when the campaign runs in counting mode (Spec.CountViolations).
+	// Counting lives in the shard aggregate — not in a campaign-global
+	// counter — so checkpointed and remotely-executed shards carry their
+	// violation tallies with them: a resumed or distributed campaign
+	// reports exactly the counts a single uninterrupted run would.  (In
+	// the Stats JSON this field is shadowed by the campaign-level map of
+	// the same key, which finalize populates from the merged shards.)
+	InvariantViolations map[string]int64 `json:"invariant_violations,omitempty"`
 }
 
 // Observe folds one episode result into the shard aggregate.
@@ -153,6 +163,14 @@ func (a *ShardStats) Merge(b *ShardStats) {
 	a.GuardEmergencyOnlyEpisodes += b.GuardEmergencyOnlyEpisodes
 	a.CertifiedSteps += b.CertifiedSteps
 	a.CertifiedRangeMisses += b.CertifiedRangeMisses
+	if b.InvariantViolations != nil {
+		if a.InvariantViolations == nil {
+			a.InvariantViolations = make(map[string]int64, len(b.InvariantViolations))
+		}
+		for name, n := range b.InvariantViolations {
+			a.InvariantViolations[name] += n
+		}
+	}
 }
 
 // Stats is the deterministic statistics section of a campaign report:
@@ -186,12 +204,14 @@ type Stats struct {
 
 	// InvariantViolations counts violations by checker name; only
 	// populated when Spec.CountViolations is set (otherwise the first
-	// violation fails the campaign).
+	// violation fails the campaign).  It is the shard-order merge of the
+	// per-shard maps and shadows the embedded ShardStats field in JSON.
 	InvariantViolations map[string]int64 `json:"invariant_violations,omitempty"`
 }
 
 // finalize computes the derived rates from the merged totals.
 func (s *Stats) finalize() {
+	s.InvariantViolations = s.ShardStats.InvariantViolations
 	n := s.Episodes
 	s.SafeRate = NewRate(n-s.Collided, n)
 	s.CollisionRate = NewRate(s.Collided, n)

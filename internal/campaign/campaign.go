@@ -220,6 +220,91 @@ func Run(spec Spec, episode EpisodeFunc) (*Report, error) {
 	return execute(spec, scalarBody(spec, episode))
 }
 
+// NumShards returns the effective shard count of the fixed partition —
+// the same resolution Run uses, so out-of-process executors (internal/dist)
+// walk exactly the shards a single-process run would.
+func (s Spec) NumShards() int { return s.shards() }
+
+// ShardRange returns the half-open episode index range [lo, hi) of shard
+// i under the fixed balanced partition.  Episode e runs with seed
+// BaseSeed+e wherever it executes.
+func (s Spec) ShardRange(i int) (lo, hi int) {
+	return shardRange(s.Episodes, s.shards(), i)
+}
+
+// RunShard executes episodes [from, hi) of shard i — from is the shard's
+// own lo for a fresh run, or a mid-shard resume point — folding results
+// into agg in episode index order, the canonical fold order, so a shard
+// aggregate assembled across interruptions is byte-identical to one from
+// an uninterrupted run.  In counting mode violations tally into
+// agg.InvariantViolations.  after, when non-nil, runs after every folded
+// episode with the index of the next episode to run; a non-nil return
+// aborts the shard with that error (the checkpoint and crash-injection
+// seam used by the distributed tier).
+func RunShard(spec Spec, episode EpisodeFunc, shard, from int, agg *ShardStats, after func(next int) error) error {
+	if episode == nil {
+		return fmt.Errorf("campaign: nil episode function")
+	}
+	if agg == nil {
+		return fmt.Errorf("campaign: nil shard aggregate")
+	}
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	shards := spec.shards()
+	if shard < 0 || shard >= shards {
+		return fmt.Errorf("campaign: shard %d outside [0, %d)", shard, shards)
+	}
+	lo, hi := shardRange(spec.Episodes, shards, shard)
+	if from < lo || from > hi {
+		return fmt.Errorf("campaign: shard %d resume episode %d outside [%d, %d]", shard, from, lo, hi)
+	}
+	invs := countingInvariants(spec, agg)
+	scratch := scratchPool.Get().(*sim.Scratch)
+	defer scratchPool.Put(scratch)
+	for e := from; e < hi; e++ {
+		seed := spec.BaseSeed + int64(e)
+		r, err := episode(sim.Options{
+			Seed:       seed,
+			Collector:  spec.Collector,
+			Invariants: invs,
+			Scratch:    scratch,
+		})
+		if err != nil {
+			return fmt.Errorf("campaign %q: shard %d seed %d: %w", spec.Name, shard, seed, err)
+		}
+		agg.Observe(&r)
+		if after != nil {
+			if err := after(e + 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FoldShards merges completed shard aggregates in ascending shard order
+// and finalizes the derived rates — the exact reduction Run performs,
+// exported so the distributed coordinator produces Stats byte-identical
+// to a single-process run.  Every shard in [0, NumShards()) must be
+// present.
+func FoldShards(spec Spec, done map[int]*ShardStats) (Stats, error) {
+	if err := spec.validate(); err != nil {
+		return Stats{}, err
+	}
+	shards := spec.shards()
+	var stats Stats
+	for i := 0; i < shards; i++ {
+		agg := done[i]
+		if agg == nil {
+			return Stats{}, fmt.Errorf("campaign: fold missing shard %d of %d", i, shards)
+		}
+		stats.ShardStats.Merge(agg)
+	}
+	stats.finalize()
+	return stats, nil
+}
+
 // execute is the campaign core shared by Run and RunBatch: invariant
 // wiring, checkpoint resume, the worker fan-out over pending shards, and
 // the deterministic shard-order reduction.  Only the per-shard episode
@@ -234,30 +319,10 @@ func execute(spec Spec, body shardBody) (*Report, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Invariant wiring: in counting mode every checker is wrapped so a
-	// violation increments an atomic counter instead of failing the
-	// episode.  Integer totals are order-independent, so counting keeps
-	// the determinism guarantee.
-	invs := spec.Invariants
-	var counters map[string]*atomic.Int64
-	if spec.CountViolations && len(invs) > 0 {
-		counters = make(map[string]*atomic.Int64, len(invs))
-		wrapped := make([]sim.Invariant, len(invs))
-		for i, inv := range invs {
-			c := counters[inv.Name()]
-			if c == nil {
-				c = new(atomic.Int64)
-				counters[inv.Name()] = c
-			}
-			wrapped[i] = countingInvariant{inner: inv, n: c}
-		}
-		invs = wrapped
-	}
-
 	// Resume: load previously completed shard aggregates, if any.
 	done := make(map[int]*ShardStats)
 	if spec.CheckpointPath != "" {
-		loaded, err := loadCheckpoint(spec.CheckpointPath, spec.fingerprint())
+		loaded, err := loadCheckpoint(spec.CheckpointPath, spec.Fingerprint())
 		if err != nil {
 			return nil, err
 		}
@@ -304,6 +369,12 @@ func execute(spec Spec, body shardBody) (*Report, error) {
 		shard := pending[k]
 		lo, hi := shardRange(spec.Episodes, shards, shard)
 		agg := &ShardStats{}
+		// Invariant wiring: in counting mode every checker is wrapped so a
+		// violation tallies into this shard's aggregate instead of failing
+		// the episode.  Counting at shard granularity keeps the totals
+		// order-independent across workers AND lets checkpointed or
+		// remotely-run shards carry their violation counts with them.
+		invs := countingInvariants(spec, agg)
 		// Episode scratch is pooled at shard granularity only: one arena
 		// per in-flight shard, reused across that shard's episodes and
 		// returned when the shard completes.  Episode results are already
@@ -330,7 +401,7 @@ func execute(spec Spec, body shardBody) (*Report, error) {
 		save := spec.CheckpointPath != "" && (sinceSave >= saveEvery || len(done) == shards)
 		if save {
 			sinceSave = 0
-			if err := saveCheckpoint(spec.CheckpointPath, spec.fingerprint(), done); err != nil {
+			if err := saveCheckpoint(spec.CheckpointPath, spec.Fingerprint(), done); err != nil {
 				checkpointErr.CompareAndSwap(nil, &err)
 			}
 		}
@@ -351,12 +422,6 @@ func execute(spec Spec, body shardBody) (*Report, error) {
 		stats.ShardStats.Merge(done[i])
 	}
 	stats.finalize()
-	if counters != nil {
-		stats.InvariantViolations = make(map[string]int64, len(counters))
-		for name, c := range counters {
-			stats.InvariantViolations[name] = c.Load()
-		}
-	}
 
 	perf := Perf{
 		WallSeconds:     wall.Seconds(),
@@ -400,24 +465,49 @@ type campaignError struct {
 	err   error
 }
 
+// countingInvariants wraps the spec's checkers so violations tally into
+// the shard aggregate instead of failing the episode (no-op outside
+// counting mode).  Every checker name is pre-seeded with a zero entry so
+// clean campaigns still report each invariant explicitly, and entries
+// already present in agg (a mid-shard resume) keep accumulating.  The
+// wrapped checkers write into agg's map and must only run on the
+// goroutine that owns the shard.
+func countingInvariants(spec Spec, agg *ShardStats) []sim.Invariant {
+	invs := spec.Invariants
+	if !spec.CountViolations || len(invs) == 0 {
+		return invs
+	}
+	if agg.InvariantViolations == nil {
+		agg.InvariantViolations = make(map[string]int64, len(invs))
+	}
+	wrapped := make([]sim.Invariant, len(invs))
+	for i, inv := range invs {
+		if _, ok := agg.InvariantViolations[inv.Name()]; !ok {
+			agg.InvariantViolations[inv.Name()] = 0
+		}
+		wrapped[i] = countingInvariant{inner: inv, m: agg.InvariantViolations}
+	}
+	return wrapped
+}
+
 // countingInvariant tallies violations instead of failing the episode.
 type countingInvariant struct {
 	inner sim.Invariant
-	n     *atomic.Int64
+	m     map[string]int64
 }
 
 func (c countingInvariant) Name() string { return c.inner.Name() }
 
 func (c countingInvariant) CheckStep(s sim.StepInfo) error {
 	if c.inner.CheckStep(s) != nil {
-		c.n.Add(1)
+		c.m[c.inner.Name()]++
 	}
 	return nil
 }
 
 func (c countingInvariant) CheckEpisode(r *sim.Result) error {
 	if c.inner.CheckEpisode(r) != nil {
-		c.n.Add(1)
+		c.m[c.inner.Name()]++
 	}
 	return nil
 }

@@ -11,8 +11,10 @@ import (
 
 // checkpointVersion guards the on-disk layout.  Version 2 dropped the
 // deprecated soundness_violations alias (and its load-time migration);
-// version-1 checkpoints are rejected as stale rather than migrated.
-const checkpointVersion = 2
+// version 3 moved counting-mode invariant tallies into the per-shard
+// aggregate (so resumed and distributed shards keep their counts).
+// Older versions are rejected as stale rather than migrated.
+const checkpointVersion = 3
 
 // ErrCorruptCheckpoint marks a checkpoint file that cannot be decoded —
 // truncated, bit-flipped, malformed, or written by an incompatible
@@ -38,7 +40,9 @@ type Fingerprint struct {
 	Shards   int    `json:"shards"`
 }
 
-func (s Spec) fingerprint() Fingerprint {
+// Fingerprint derives the campaign identity a checkpoint (or a
+// distributed shard result) must match before its aggregates may fold in.
+func (s Spec) Fingerprint() Fingerprint {
 	return Fingerprint{Name: s.Name, Episodes: s.Episodes, BaseSeed: s.BaseSeed, Shards: s.shards()}
 }
 
@@ -83,18 +87,26 @@ func loadCheckpoint(path string, fp Fingerprint) (map[int]*ShardStats, error) {
 	return out, nil
 }
 
-// WriteFileAtomic writes data to path atomically: it writes a temporary
-// file in the same directory and renames it over the target, so readers
-// never observe a torn file and an interruption mid-write leaves the
-// previous contents intact.  It is the persistence primitive behind
-// campaign checkpoints, and cmd/bench routes its report/trace writes
-// through it too.
+// WriteFileAtomic writes data to path atomically AND durably: it writes a
+// temporary file in the same directory, fsyncs it, renames it over the
+// target, and fsyncs the parent directory, so readers never observe a
+// torn file, an interruption mid-write leaves the previous contents
+// intact, and a completed write survives power loss (rename without a
+// directory fsync may be rolled back by the journal; data without an
+// fsync may be zeroes after the rename).  It is the persistence primitive
+// behind campaign and distributed-worker checkpoints, and cmd/bench
+// routes its report/trace writes through it too.
 func WriteFileAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -107,7 +119,37 @@ func WriteFileAtomic(path string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("campaign: fsync %s: %w", dir, err)
+	}
+	return d.Close()
+}
+
+// LoadShardCheckpoint reads completed shard aggregates for the
+// fingerprint — the campaign checkpoint format, exported for the
+// distributed coordinator's own resume path.  A missing file is an empty
+// resume; corruption is ErrCorruptCheckpoint; a fingerprint mismatch is a
+// distinct error (the caller asked to resume the wrong campaign).
+func LoadShardCheckpoint(path string, fp Fingerprint) (map[int]*ShardStats, error) {
+	return loadCheckpoint(path, fp)
+}
+
+// SaveShardCheckpoint persists completed shard aggregates in the campaign
+// checkpoint format (atomic + durable via WriteFileAtomic), exported for
+// the distributed coordinator.  A file saved here resumes under
+// single-process Run and vice versa: the format carries no topology.
+func SaveShardCheckpoint(path string, fp Fingerprint, done map[int]*ShardStats) error {
+	return saveCheckpoint(path, fp, done)
 }
 
 // saveCheckpoint atomically persists the completed shards: it writes a

@@ -1,0 +1,153 @@
+package campaign
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"safeplan/internal/sim"
+)
+
+// tornFixture writes a realistic checkpoint (a partially-completed
+// counting-mode campaign over the synthetic episode) and returns its
+// path, fingerprint, and raw bytes.
+func tornFixture(t *testing.T) (string, Fingerprint, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	spec := Spec{
+		Name: "torn", Episodes: 64, BaseSeed: 11, Shards: 4,
+		Invariants:      []sim.Invariant{sim.NoCollision{}},
+		CountViolations: true,
+	}
+	done := make(map[int]*ShardStats)
+	for _, shard := range []int{0, 2} { // sparse: mid-campaign snapshot
+		agg := &ShardStats{}
+		lo, _ := spec.ShardRange(shard)
+		if err := RunShard(spec, syntheticEpisode, shard, lo, agg, nil); err != nil {
+			t.Fatal(err)
+		}
+		done[shard] = agg
+	}
+	if err := SaveShardCheckpoint(path, spec.Fingerprint(), done); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, spec.Fingerprint(), raw
+}
+
+// TestCheckpointTornWriteRecovery simulates a torn write at every byte
+// offset of a real checkpoint file and asserts the loader never panics
+// and never returns silently wrong aggregates: every truncation either
+// fails with ErrCorruptCheckpoint, or — when the cut only removes
+// trailing whitespace so the JSON still parses whole — loads aggregates
+// identical to the intact file.  WriteFileAtomic makes torn writes
+// unreachable through the normal save path (temp write + fsync + rename
+// + directory fsync); this covers the hostile leftovers that crashes,
+// failing disks, and the chaos harness can still produce.
+func TestCheckpointTornWriteRecovery(t *testing.T) {
+	path, fp, raw := tornFixture(t)
+	want, err := LoadShardCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(filepath.Dir(path), "torn.json")
+	for cut := 0; cut < len(raw); cut++ {
+		if err := os.WriteFile(torn, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := func() (m map[int]*ShardStats, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut at %d/%d: loader panicked: %v", cut, len(raw), r)
+				}
+			}()
+			return LoadShardCheckpoint(torn, fp)
+		}()
+		switch {
+		case err == nil:
+			// The truncated bytes still parsed as a complete checkpoint
+			// (only trailing whitespace was cut): the result must be the
+			// intact aggregates, never a silently different set.
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("cut at %d/%d: clean load differs from intact checkpoint", cut, len(raw))
+			}
+		case errors.Is(err, ErrCorruptCheckpoint):
+			// The only acceptable failure: callers discard and recompute.
+		default:
+			t.Fatalf("cut at %d/%d: error %v is not ErrCorruptCheckpoint", cut, len(raw), err)
+		}
+	}
+}
+
+// TestCheckpointBitFlipRecovery flips each byte of the header region and
+// asserts corruption is always ErrCorruptCheckpoint or a clean
+// fingerprint-mismatch error — never a panic, never silent acceptance of
+// aggregates under a perturbed version or fingerprint field.
+func TestCheckpointBitFlipRecovery(t *testing.T) {
+	path, fp, raw := tornFixture(t)
+	want, err := LoadShardCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := filepath.Join(filepath.Dir(path), "flip.json")
+	limit := min(len(raw), 256)
+	for i := 0; i < limit; i++ {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x20
+		if err := os.WriteFile(flip, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadShardCheckpoint(flip, fp)
+		switch {
+		case err == nil:
+			// A flip in insignificant whitespace or one that round-trips
+			// to the same semantic value must still load the same shards.
+			if len(got) != len(want) {
+				t.Fatalf("flip at %d: clean load with %d shards, want %d", i, len(got), len(want))
+			}
+		case errors.Is(err, ErrCorruptCheckpoint):
+			// Undecodable or version-skewed: discard-and-recompute path.
+		case strings.Contains(err.Error(), "belongs to campaign"):
+			// The flip landed inside the fingerprint and produced a
+			// well-formed checkpoint for a *different* campaign — refusing
+			// to resume it (loudly, not as corruption) is the contract.
+		default:
+			t.Fatalf("flip at %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+// TestWriteFileAtomicReplaces pins the atomic-replace contract: the
+// target is fully replaced, no temp files survive, and the write is
+// readable back byte-for-byte.
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "second" {
+		t.Fatalf("read %q, want %q", raw, "second")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d directory entries after atomic writes, want 1 (no temp leftovers)", len(entries))
+	}
+}

@@ -3,6 +3,7 @@ package campaign
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -124,7 +125,8 @@ func TestCheckpointCorruptionDetected(t *testing.T) {
 		},
 		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
 		"version-skew": func(b []byte) []byte {
-			return []byte(strings.Replace(string(b), `"version": 2`, `"version": 99`, 1))
+			cur := fmt.Sprintf(`"version": %d`, checkpointVersion)
+			return []byte(strings.Replace(string(b), cur, `"version": 99`, 1))
 		},
 		"bad-shard-key": func(b []byte) []byte {
 			return []byte(strings.Replace(string(b), `"0":`, `"zero":`, 1))

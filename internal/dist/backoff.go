@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays: attempt k draws
+// uniformly from [Base, min(Cap, Base·Factor^k)] ("decorrelated-lite"
+// full jitter with a floor).  The floor is what prevents the classic
+// zero-delay busy loop: however the RNG lands, a retry always waits at
+// least Base.  The jitter source is injected (never a global stream) so
+// retry schedules are reproducible under test and two workers sharing a
+// machine never phase-lock their retries against the coordinator.
+type Backoff struct {
+	// Base is the minimum (and first-attempt maximum) delay.  Zero
+	// selects DefaultBackoffBase.
+	Base time.Duration
+	// Cap bounds the delay from above.  Zero selects DefaultBackoffCap.
+	Cap time.Duration
+	// Factor is the exponential growth per attempt; values below 1
+	// (including zero) select 2.
+	Factor float64
+
+	// Rng draws the jitter.  Nil panics in Next — the caller owns stream
+	// derivation, and a silently-created global-seeded stream would be
+	// exactly the nondeterminism this package is built to keep out.
+	Rng *rand.Rand
+
+	attempt int
+}
+
+// Default backoff bounds: 50 ms growing to 5 s.
+const (
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffCap  = 5 * time.Second
+)
+
+func (b *Backoff) bounds() (base, cap time.Duration, factor float64) {
+	base, cap, factor = b.Base, b.Cap, b.Factor
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	if cap < base {
+		cap = base
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	return base, cap, factor
+}
+
+// Next returns the delay for the current attempt and advances the
+// attempt counter.  The result is always within [Base, Cap].
+func (b *Backoff) Next() time.Duration {
+	base, cap, factor := b.bounds()
+	ceil := float64(base)
+	for i := 0; i < b.attempt; i++ {
+		ceil *= factor
+		if ceil >= float64(cap) {
+			ceil = float64(cap)
+			break
+		}
+	}
+	b.attempt++
+	lo, hi := float64(base), ceil
+	d := time.Duration(lo + b.Rng.Float64()*(hi-lo))
+	if d < base {
+		d = base
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// Reset rewinds the attempt counter after a success, so the next failure
+// starts again from Base.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempt returns how many delays Next has handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }

@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds is the retry-math property test: across many seeds
+// and attempt depths, every delay stays within [Base, Cap], the schedule
+// is deterministic under a fixed seed, and no draw ever hits zero (the
+// busy-loop failure mode the floor exists to prevent).
+func TestBackoffBounds(t *testing.T) {
+	const base, cap = 10 * time.Millisecond, 400 * time.Millisecond
+	for seed := int64(0); seed < 200; seed++ {
+		b := &Backoff{Base: base, Cap: cap, Rng: rand.New(rand.NewSource(seed))}
+		ceil := base
+		for i := 0; i < 25; i++ {
+			d := b.Next()
+			if d < base || d > cap {
+				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v]", seed, i, d, base, cap)
+			}
+			if d == 0 {
+				t.Fatalf("seed %d attempt %d: zero delay (busy loop)", seed, i)
+			}
+			// The attempt's window is [base, min(cap, base·2^i)]: a draw
+			// above the exponential ceiling means the window grew faster
+			// than the exponent.
+			if d > ceil {
+				t.Fatalf("seed %d attempt %d: delay %v above window ceiling %v", seed, i, d, ceil)
+			}
+			if ceil < cap {
+				ceil *= 2
+				if ceil > cap {
+					ceil = cap
+				}
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministic: the same seed replays the same schedule, and
+// different seeds de-correlate (at least one differing delay in a short
+// window).
+func TestBackoffDeterministic(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		b := &Backoff{Base: time.Millisecond, Cap: time.Second, Rng: rand.New(rand.NewSource(seed))}
+		out := make([]time.Duration, 12)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, b2 := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("same seed, different schedule at %d: %v vs %v", i, a[i], b2[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 12-delay schedules")
+	}
+}
+
+// TestBackoffResetRestartsWindow: after Reset the first delay is again
+// bounded by Base (the attempt-0 window is the degenerate [Base, Base]).
+func TestBackoffResetRestartsWindow(t *testing.T) {
+	b := &Backoff{Base: 5 * time.Millisecond, Cap: time.Second, Rng: rand.New(rand.NewSource(1))}
+	for i := 0; i < 6; i++ {
+		b.Next()
+	}
+	if b.Attempt() != 6 {
+		t.Fatalf("attempt counter %d after 6 draws", b.Attempt())
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Fatalf("attempt counter %d after reset", b.Attempt())
+	}
+	if d := b.Next(); d != 5*time.Millisecond {
+		t.Fatalf("first post-reset delay %v, want exactly Base (degenerate window)", d)
+	}
+}
+
+// TestBackoffZeroValueDefaults: an unconfigured Backoff (only an Rng)
+// uses the documented defaults and still respects them as bounds.
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	b := &Backoff{Rng: rand.New(rand.NewSource(3))}
+	for i := 0; i < 20; i++ {
+		d := b.Next()
+		if d < DefaultBackoffBase || d > DefaultBackoffCap {
+			t.Fatalf("attempt %d: delay %v outside default bounds", i, d)
+		}
+	}
+}
+
+// TestFakeClockAdvance pins the test clock's semantics: After fires only
+// once Advance crosses the deadline, and non-positive waits fire
+// immediately.
+func TestFakeClockAdvance(t *testing.T) {
+	fc := NewFakeClock(time.Unix(1000, 0))
+	ch := fc.After(50 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	fc.Advance(49 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("After fired before its deadline")
+	default:
+	}
+	fc.Advance(time.Millisecond)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After did not fire at its deadline")
+	}
+	select {
+	case <-fc.After(0):
+	default:
+		t.Fatal("zero-duration After must fire immediately")
+	}
+}

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"safeplan/internal/campaign"
+)
+
+// workerCheckpointVersion guards the mid-shard checkpoint layout.
+const workerCheckpointVersion = 1
+
+// WorkerCheckpoint is a worker's mid-shard resume point: the partial
+// aggregate for episodes [lo, NextEpisode) of one shard, fingerprinted
+// to the campaign.  Because RunShard folds episodes in index order, a
+// worker that crashes, reloads this file, and continues from NextEpisode
+// produces a shard aggregate byte-identical to an uninterrupted run —
+// that is the property the chaos gate proves.
+type WorkerCheckpoint struct {
+	Version     int                  `json:"version"`
+	Fingerprint campaign.Fingerprint `json:"fingerprint"`
+	Shard       int                  `json:"shard"`
+	// NextEpisode is the first episode index NOT yet folded into Stats.
+	NextEpisode int                  `json:"next_episode"`
+	Stats       *campaign.ShardStats `json:"stats"`
+	// Sum is the checksum of every other field.  JSON decoding alone only
+	// catches structural damage — a bit flip inside a number yields a
+	// checkpoint that parses fine and resumes from plausible-but-wrong
+	// state (the chaos gate found exactly this).  The checksum makes any
+	// value-level damage load as ErrCorruptCheckpoint instead.
+	Sum string `json:"sum"`
+}
+
+// checksum hashes the checkpoint's content (Sum field excluded).
+func (ck WorkerCheckpoint) checksum() string {
+	ck.Sum = ""
+	raw, err := json.Marshal(ck)
+	if err != nil {
+		panic(err) // closed struct of marshalable fields
+	}
+	return sumBytes(raw)
+}
+
+// SaveWorkerCheckpoint persists a mid-shard resume point atomically and
+// durably (campaign.WriteFileAtomic: temp + fsync + rename + dir fsync).
+func SaveWorkerCheckpoint(path string, ck WorkerCheckpoint) error {
+	ck.Version = workerCheckpointVersion
+	ck.Sum = ck.checksum()
+	raw, err := json.MarshalIndent(ck, "", " ")
+	if err != nil {
+		return err
+	}
+	return campaign.WriteFileAtomic(path, append(raw, '\n'))
+}
+
+// LoadWorkerCheckpoint reads a mid-shard resume point.  A missing file
+// returns (nil, nil) — nothing to resume.  A file that cannot be decoded
+// (torn write, bit flip, version skew) returns
+// campaign.ErrCorruptCheckpoint, which the worker treats as "no
+// checkpoint": the shard recomputes from its start, trading time for
+// correctness, never folding suspect bytes.  A checkpoint for a
+// DIFFERENT campaign is a distinct, non-discardable error: the caller
+// pointed a worker at the wrong state file, and silently recomputing
+// would hide the misconfiguration.
+func LoadWorkerCheckpoint(path string, fp campaign.Fingerprint) (*WorkerCheckpoint, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: read worker checkpoint: %w", err)
+	}
+	var ck WorkerCheckpoint
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		return nil, fmt.Errorf("%w %s: %v", campaign.ErrCorruptCheckpoint, path, err)
+	}
+	if ck.Version != workerCheckpointVersion {
+		return nil, fmt.Errorf("%w %s: version %d, want %d", campaign.ErrCorruptCheckpoint, path, ck.Version, workerCheckpointVersion)
+	}
+	if ck.Stats == nil || ck.Shard < 0 {
+		return nil, fmt.Errorf("%w %s: missing stats or negative shard", campaign.ErrCorruptCheckpoint, path)
+	}
+	if got := ck.checksum(); got != ck.Sum {
+		return nil, fmt.Errorf("%w %s: checksum %.12s… does not match content %.12s…", campaign.ErrCorruptCheckpoint, path, ck.Sum, got)
+	}
+	if ck.Fingerprint != fp {
+		return nil, fmt.Errorf("dist: worker checkpoint %s belongs to campaign %+v, not %+v (delete it or change the path)",
+			path, ck.Fingerprint, fp)
+	}
+	return &ck, nil
+}

@@ -48,6 +48,11 @@ const (
 	// ReasonBadRequest: malformed JSON, unknown op, or invalid open
 	// parameters.
 	ReasonBadRequest = "bad-request"
+	// ReasonDraining: the server is shutting down gracefully — no new
+	// sessions are admitted, but existing sessions keep stepping until
+	// they finish or the drain deadline passes.  Terminal for opens;
+	// clients should go elsewhere.
+	ReasonDraining = "draining"
 )
 
 // Scenario and design selectors accepted by OpOpen.

@@ -99,6 +99,10 @@ type Stats struct {
 	// omitted when no request was rejected.
 	Rejections map[string]int64 `json:"rejections,omitempty"`
 
+	// Draining reports a graceful shutdown in progress: opens are
+	// rejected, existing sessions run to completion or the deadline.
+	Draining bool `json:"draining,omitempty"`
+
 	// StepLatencyNs distributes the service-side latency of single
 	// engine steps (the soak SLO's p99 source).
 	StepLatencyNs telemetry.HistogramSnapshot `json:"step_latency_ns"`
@@ -112,6 +116,7 @@ var reasonNames = []string{
 	ReasonDuplicateSession,
 	ReasonSessionClosed,
 	ReasonBadRequest,
+	ReasonDraining,
 }
 
 func reasonIndex(reason string) int {
@@ -137,8 +142,9 @@ type Server struct {
 	metrics *telemetry.Metrics
 	shards  []*shard
 
-	live atomic.Int64
-	peak atomic.Int64
+	live     atomic.Int64
+	peak     atomic.Int64
+	draining atomic.Bool
 
 	opened   atomic.Int64
 	closed   atomic.Int64
@@ -212,6 +218,7 @@ func (s *Server) Stats() Stats {
 		StepRequests:     s.stepReqs.Load(),
 		StepsExecuted:    s.steps.Load(),
 		StepLatencyNs:    s.stepLatency.Snapshot(),
+		Draining:         s.draining.Load(),
 	}
 	for i, name := range reasonNames {
 		if n := s.rejects[i].Load(); n > 0 {
@@ -277,6 +284,33 @@ func (s *Server) Addr() net.Addr {
 		return nil
 	}
 	return s.listener.Addr()
+}
+
+// Shutdown drains the server gracefully: new session opens are rejected
+// with ReasonDraining (and /healthz flips to 503 so orchestrators stop
+// routing here), while live sessions keep stepping until they close,
+// finish, or are reaped.  Once no session remains — or the deadline
+// passes with sessions still live — the server closes hard and the
+// final Stats snapshot is returned for a last metrics flush.  A zero or
+// negative deadline closes immediately after the drain flag is up.
+//
+// Shutdown is idempotent with Close: whichever runs first wins, the
+// loser is a no-op returning the (already final) Stats.
+func (s *Server) Shutdown(deadline time.Duration) (Stats, error) {
+	s.draining.Store(true)
+	waited := time.Duration(0)
+	const poll = 10 * time.Millisecond
+	for waited < deadline && s.live.Load() > 0 {
+		time.Sleep(poll)
+		waited += poll
+	}
+	stranded := s.live.Load()
+	err := s.Close()
+	st := s.Stats()
+	if err == nil && stranded > 0 {
+		err = fmt.Errorf("serve: drain deadline %s passed with %d sessions still live", deadline, stranded)
+	}
+	return st, err
 }
 
 // Close stops accepting, drops every connection, stops the shard workers
@@ -378,6 +412,10 @@ func (s *Server) shardFor(sid string) *shard {
 func (s *Server) open(req Request, w *connWriter) {
 	if req.SID == "" {
 		s.reject(w, req, ReasonBadRequest, "open requires a sid")
+		return
+	}
+	if s.draining.Load() {
+		s.reject(w, req, ReasonDraining, "server is draining")
 		return
 	}
 	for {
@@ -518,8 +556,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		closing := s.closing
 		s.mu.Unlock()
-		if closing {
-			http.Error(w, "closing", http.StatusServiceUnavailable)
+		if closing || s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -411,6 +411,96 @@ func TestMetricsEndpoints(t *testing.T) {
 	}
 }
 
+// TestGracefulShutdownDrains: Shutdown stops admissions (ReasonDraining,
+// healthz 503) while the in-flight session keeps stepping to its natural
+// end; once the last session closes, Shutdown returns the final Stats.
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv, addr := newTestServer(t, Config{Shards: 2})
+	cl := dialTest(t, addr)
+	if resp := cl.do(Request{Op: OpOpen, SID: "d1", Seed: 5}); !resp.OK {
+		t.Fatalf("open: %+v", resp)
+	}
+
+	done := make(chan struct{})
+	var finalSt Stats
+	var shutErr error
+	go func() {
+		finalSt, shutErr = srv.Shutdown(10 * time.Second)
+		close(done)
+	}()
+
+	// The draining flag flips before Shutdown starts waiting, but give the
+	// goroutine a moment to be scheduled at all.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp := cl.do(Request{Op: OpOpen, SID: "d2"})
+		if !resp.OK && resp.Reason == ReasonDraining {
+			break
+		}
+		if resp.OK {
+			// Won the race against the drain flag; retire it and retry.
+			cl.do(Request{Op: OpClose, SID: "d2"})
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining never became observable to opens")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("healthz while draining: %d", rec.Code)
+	}
+
+	// The in-flight session is NOT interrupted: it steps to its episode's
+	// natural end and closes normally while the server drains.
+	final := cl.stepToEnd("d1", 25)
+	if final.Result == nil || !final.Result.Reached {
+		t.Fatalf("drained session should finish normally: %+v", final)
+	}
+	if resp := cl.do(Request{Op: OpClose, SID: "d1"}); !resp.OK {
+		t.Fatalf("close during drain: %+v", resp)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return after the last session closed")
+	}
+	if shutErr != nil {
+		t.Fatalf("Shutdown: %v", shutErr)
+	}
+	if !finalSt.Draining || finalSt.LiveSessions != 0 {
+		t.Fatalf("final stats after drain: %+v", finalSt)
+	}
+	if finalSt.Rejections[ReasonDraining] == 0 {
+		t.Fatalf("draining rejection not counted: %+v", finalSt.Rejections)
+	}
+	// Idempotent with Close (which Cleanup will call again): a second
+	// Shutdown finds nothing live and returns the same final snapshot.
+	if st, err := srv.Shutdown(time.Second); err != nil || !st.Draining {
+		t.Fatalf("second Shutdown: %+v, %v", st, err)
+	}
+}
+
+// TestShutdownDeadlineStrandsSessions: a session that never finishes
+// forces Shutdown to give up at the deadline, close hard, and report the
+// stranded count.
+func TestShutdownDeadlineStrandsSessions(t *testing.T) {
+	srv, addr := newTestServer(t, Config{Shards: 1})
+	cl := dialTest(t, addr)
+	if resp := cl.do(Request{Op: OpOpen, SID: "stuck", Seed: 2}); !resp.OK {
+		t.Fatalf("open: %+v", resp)
+	}
+	st, err := srv.Shutdown(50 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "still live") {
+		t.Fatalf("deadline shutdown error: %v", err)
+	}
+	if st.LiveSessions != 1 {
+		t.Fatalf("stranded session not reflected in final stats: %+v", st)
+	}
+}
+
 // TestSoak is the scaled-down-in-race / full-scale-native soak: a
 // population of concurrent sessions (default soakDefaultSessions,
 // override with SERVE_SOAK_SESSIONS) stepped to natural termination over

@@ -1,0 +1,109 @@
+#!/bin/sh
+# dist-smoke: the distributed campaign tier's CI gate.
+#
+# Runs the same campaign twice:
+#
+#   1. baseline — campaignd -local, i.e. single-process campaign.Run;
+#   2. distributed — a campaignd coordinator with two bench -worker
+#      processes, one of which is SIGKILLed mid-campaign and revived
+#      from its mid-shard checkpoint.
+#
+# The folded statistics of both runs must be BYTE-identical (cmp(1) on
+# the -stats-out files).  That is the tier's headline property: worker
+# count, crash timing, lease churn, and checkpoint resume must never
+# change a single bit of the published statistics.  The in-tree chaos
+# suite (internal/dist/chaos) proves the same property against scripted
+# message faults; this script proves it against a real process kill on
+# real TCP.
+#
+# Tunables (env): DIST_SMOKE_WORKLOAD, DIST_SMOKE_EPISODES,
+# DIST_SMOKE_SEED, DIST_SMOKE_ADDR.
+set -eu
+cd "$(dirname "$0")/.."
+
+WORKLOAD="${DIST_SMOKE_WORKLOAD:-none/ultimate-conservative}"
+EPISODES="${DIST_SMOKE_EPISODES:-3072}"
+SEED="${DIST_SMOKE_SEED:-7}"
+ADDR="${DIST_SMOKE_ADDR:-127.0.0.1:7459}"
+
+TMP="$(mktemp -d)"
+COORD_PID=""
+cleanup() {
+	[ -n "$COORD_PID" ] && kill "$COORD_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "dist-smoke: building campaignd and bench"
+go build -o "$TMP/campaignd" ./cmd/campaignd
+go build -o "$TMP/bench" ./cmd/bench
+
+echo "dist-smoke: baseline (single-process campaign.Run, $EPISODES episodes of $WORKLOAD)"
+"$TMP/campaignd" -local -workload "$WORKLOAD" -episodes "$EPISODES" -seed "$SEED" \
+	-stats-out "$TMP/baseline_stats.json" 2>"$TMP/baseline.log"
+
+echo "dist-smoke: coordinator on $ADDR (lease TTL 2s)"
+# -linger keeps the coordinator answering "done" briefly after the fold
+# completes, so whichever worker did NOT submit the last shard learns the
+# campaign is over from its next lease request instead of hitting a dead
+# socket.
+"$TMP/campaignd" -workload "$WORKLOAD" -episodes "$EPISODES" -seed "$SEED" \
+	-addr "$ADDR" -lease-ttl 2s -linger 2s -checkpoint "$TMP/coord.ckpt.json" \
+	-out "$TMP/dist.json" -stats-out "$TMP/dist_stats.json" 2>"$TMP/coord.log" &
+COORD_PID=$!
+
+# Worker 1 dies hard after 40 episodes — os.Exit, no cleanup, its
+# mid-shard checkpoint left on disk and its lease left dangling for the
+# coordinator's sweeper to expire.  The episode-count trigger makes the
+# kill land mid-campaign deterministically, independent of machine speed.
+"$TMP/bench" -worker "$ADDR" -worker-id victim -worker-kill-after 40 \
+	-worker-checkpoint "$TMP/victim.ckpt.json" 2>"$TMP/victim.log" &
+VICTIM_PID=$!
+if wait "$VICTIM_PID" 2>/dev/null; then
+	echo "dist-smoke: FAIL: victim exited cleanly; the kill seam never fired" >&2
+	cat "$TMP/victim.log" >&2
+	exit 1
+fi
+echo "dist-smoke: worker 'victim' died mid-campaign (checkpoint on disk, lease dangling)"
+
+# Revive worker 1 after the 2s lease TTL has passed: its dead
+# predecessor's shard is pending again, so the revival's checkpoint
+# preference is honored and it RESUMES mid-shard instead of recomputing.
+sleep 2.5
+"$TMP/bench" -worker "$ADDR" -worker-id victim-revived \
+	-worker-checkpoint "$TMP/victim.ckpt.json" 2>"$TMP/revived.log" &
+REVIVED_PID=$!
+
+# Worker 2 joins half a second later (so it cannot race the revival to
+# its checkpointed shard) and the two drive the campaign to completion.
+sleep 0.5
+"$TMP/bench" -worker "$ADDR" -worker-id survivor 2>"$TMP/survivor.log" &
+SURVIVOR_PID=$!
+
+fail=0
+wait "$SURVIVOR_PID" || { echo "dist-smoke: survivor worker failed" >&2; fail=1; }
+wait "$REVIVED_PID" || { echo "dist-smoke: revived worker failed" >&2; fail=1; }
+wait "$COORD_PID" || { echo "dist-smoke: coordinator failed" >&2; fail=1; }
+COORD_PID=""
+if [ "$fail" -ne 0 ]; then
+	for f in coord victim revived survivor; do
+		echo "---- $f.log ----" >&2
+		cat "$TMP/$f.log" >&2 || true
+	done
+	exit 1
+fi
+
+if ! cmp -s "$TMP/baseline_stats.json" "$TMP/dist_stats.json"; then
+	echo "dist-smoke: FAIL: distributed stats differ from the single-process baseline" >&2
+	diff "$TMP/baseline_stats.json" "$TMP/dist_stats.json" >&2 || true
+	exit 1
+fi
+if ! grep -q 'resumed=true' "$TMP/revived.log"; then
+	echo "dist-smoke: FAIL: revived worker did not resume from the victim's checkpoint" >&2
+	cat "$TMP/revived.log" >&2
+	exit 1
+fi
+
+echo "dist-smoke: OK — distributed stats byte-identical to single-process baseline through a worker kill"
+grep -E 'complete:' "$TMP/coord.log" || true
+grep -E 'resumed=|shards completed' "$TMP/victim.log" "$TMP/revived.log" "$TMP/survivor.log" | sed 's/^/dist-smoke:   /' || true

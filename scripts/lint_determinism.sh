@@ -47,4 +47,19 @@ if [ "$count" -gt "$TIME_NOW_BUDGET" ]; then
 	fail=1
 fi
 
+# Distributed tier: every wall-clock read in internal/dist must flow
+# through the Clock seam (clock.go).  Leases, heartbeats, and backoff are
+# timing-sensitive but the statistics fold must not be, and the chaos
+# suite can only script failure timelines if nothing else touches the
+# clock.  time.Duration/time.Millisecond etc. are types and constants, not
+# clock reads, and do not match.
+clocked=$(grep -rnE 'time\.(Now|Sleep|After|AfterFunc|NewTimer|NewTicker|Tick|Since|Until)\(' \
+	internal/dist --include='*.go' \
+	| grep -v _test.go | grep -v 'internal/dist/clock\.go' || true)
+if [ -n "$clocked" ]; then
+	echo "lint-determinism: wall-clock reads in internal/dist outside the clock.go seam:" >&2
+	echo "$clocked" >&2
+	fail=1
+fi
+
 exit $fail
