@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-batch bench-campaign bench-seed bench-guard bench-perf bench-ibp campaign-smoke guard-smoke alloc-gate serve-smoke dist-smoke ibp-gate golden fuzz-smoke lint-extra
+.PHONY: build test check bench bench-batch bench-campaign bench-seed bench-guard bench-perf bench-ibp bench-platoon campaign-smoke guard-smoke platoon-smoke alloc-gate serve-smoke dist-smoke ibp-gate golden fuzz-smoke lint-extra
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,7 @@ golden:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCompoundSafety -fuzztime 20s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzCarFollowSafety -fuzztime 20s ./internal/carfollow
+	$(GO) test -run '^$$' -fuzz FuzzPlatoonSafety -fuzztime 20s ./internal/platoon
 	$(GO) test -run '^$$' -fuzz FuzzGuardedPlanner -fuzztime 20s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzBatchParity -fuzztime 20s ./internal/sim/batch
 	$(GO) test -run '^$$' -fuzz FuzzIBPContainment -fuzztime 20s ./internal/nn/ibp
@@ -110,6 +111,18 @@ campaign-smoke:
 # in fail mode.
 guard-smoke:
 	$(GO) run ./cmd/bench -smoke -guard
+
+# Platoon CI gate: a clean four-vehicle chain and one with the burst
+# preset on its middle link, 10k episodes each, the chain's checkers
+# (pairwise no-collision, per-link soundness, true-state slack, string
+# stability) in fail mode.
+platoon-smoke:
+	$(GO) run ./cmd/bench -smoke -platoon 4
+
+# N-vehicle chained-link platoon matrix: canonical settings on all links
+# plus the burst preset rotated over each link; writes BENCH_platoon.json.
+bench-platoon:
+	$(GO) run ./cmd/bench -platoon 4 -out BENCH_platoon.json
 
 # Compute-fault matrix: one guarded campaign per planner-fault preset;
 # writes BENCH_guard.json with mean η and crash-free rate per preset.

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bench [-episodes 5000] [-workers 0] [-seed 42] [-out BENCH_campaign.json]
-//	      [-quick] [-smoke] [-guard] [-batch N] [-checkpoint DIR]
+//	      [-quick] [-smoke] [-guard] [-platoon N] [-batch N] [-checkpoint DIR]
 //
 // The default matrix covers the paper's three communication settings (none,
 // delayed, lost) for both expert planners under the ultimate compound
@@ -24,6 +24,14 @@
 // guard's own CI gate: the acceptance worst cases (PanicP and NaNOutput at
 // p = 0.5) over 10k episodes each with the containment checkers in fail
 // mode.
+// -platoon N switches to the N-vehicle chained-link platoon matrix
+// (internal/platoon): every canonical communication setting applied
+// uniformly to all V2V links, plus the adversarial burst preset rotated
+// over each individual link, with the chain's checkers — pairwise
+// no-collision, per-link soundness, true-state slack, string stability —
+// in counting mode (BENCH_platoon.json).  -platoon N -smoke is the
+// platoon's own CI gate: a clean chain and a burst-on-the-middle-link
+// chain over 10k episodes each with the checkers in fail mode.
 // -batch N steps the canonical left-turn matrix through the lockstep
 // batch engine (internal/sim/batch) with N lanes per group instead of the
 // scalar episode loop.  Every lane is byte-identical to its scalar
@@ -114,6 +122,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "directory for per-campaign checkpoints (enables resume)")
 		perfMode   = flag.Bool("perf", false, "allocation/latency matrix: ns/step, B/op, allocs/op per scenario, scratch off vs on (BENCH_perf.json)")
 		ibpMode    = flag.Bool("ibp", false, "certification sweep: every trained-NN design in IBP verified mode, zero certified-range misses required (BENCH_ibp.json)")
+		platoonN   = flag.Int("platoon", 0, "chain length for the N-vehicle platoon matrix (BENCH_platoon.json); with -smoke, the platoon CI gate")
 		modelDir   = flag.String("models", "models", "trained-model directory for -ibp")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -166,10 +175,17 @@ func main() {
 		return
 	}
 
+	if *platoonN != 0 && *platoonN < 2 {
+		log.Fatalf("-platoon %d: a chain needs at least two vehicles (head + ego)", *platoonN)
+	}
+
 	if *smoke {
-		if *guardMode {
+		switch {
+		case *guardMode:
 			runGuardSmoke(*workers, *seed)
-		} else {
+		case *platoonN >= 2:
+			runPlatoonSmoke(*platoonN, *workers, *seed)
+		default:
 			runSmoke(*workers, *seed)
 		}
 		return
@@ -199,6 +215,15 @@ func main() {
 			o = "BENCH_ibp.json"
 		}
 		runIBPSweep(n, w, *seed, o, *modelDir)
+		return
+	}
+
+	if *platoonN >= 2 {
+		o := *out
+		if !flagPassed("out") {
+			o = "BENCH_platoon.json"
+		}
+		runPlatoonMatrix(*platoonN, n, w, *seed, o)
 		return
 	}
 

@@ -12,6 +12,7 @@ import (
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
 	"safeplan/internal/experiments"
+	"safeplan/internal/platoon"
 	"safeplan/internal/sim"
 	"safeplan/internal/sim/batch"
 )
@@ -319,10 +320,20 @@ func perfWorkloads() []perfWorkload {
 	cfCfg.InfoFilter = true
 	cfAgent := carfollow.NewUltimate(cfCfg.Scenario, carfollow.AggressiveExpert(cfCfg.Scenario))
 
+	// The platoon row runs through the scalar stepping engine only: the
+	// lockstep SoA batch engine is a fixed-layout left-turn twin, and the
+	// chain's state dimension varies with N, so a batched platoon engine
+	// is deliberately deferred (see DESIGN.md §17).
+	plCfg := platoon.DefaultSimConfig()
+	plCfg.Comms = comms.Delayed(0.25, 0.5)
+	plCfg.InfoFilter = true
+	plAgent := carfollow.NewUltimate(plCfg.Scenario, carfollow.AggressiveExpert(plCfg.Scenario))
+
 	return []perfWorkload{
 		{"left-turn", func(opts sim.Options) (sim.Result, error) { return sim.Run(ltCfg, ltAgent, opts) }},
 		{"multi-vehicle", func(opts sim.Options) (sim.Result, error) { return sim.RunMulti(multiCfg, multiAgent, opts) }},
 		{"car-follow", func(opts sim.Options) (sim.Result, error) { return carfollow.RunEpisode(cfCfg, cfAgent, opts) }},
+		{"platoon-4", func(opts sim.Options) (sim.Result, error) { return platoon.RunEpisode(plCfg, plAgent, opts) }},
 	}
 }
 

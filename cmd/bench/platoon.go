@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"safeplan/internal/campaign"
+	"safeplan/internal/carfollow"
+	"safeplan/internal/comms"
+	"safeplan/internal/disturb"
+	"safeplan/internal/platoon"
+	"safeplan/internal/sim"
+)
+
+// platoonBenchReport is the file layout of BENCH_platoon.json: the
+// N-vehicle chained-link matrix — every canonical communication setting
+// applied uniformly to all links, plus the adversarial burst preset
+// rotated over each individual link, the disturbance geometry the
+// per-link channel design exists for.
+type platoonBenchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+
+	Vehicles            int   `json:"vehicles"`
+	EpisodesPerCampaign int   `json:"episodes_per_campaign"`
+	BaseSeed            int64 `json:"base_seed"`
+	Workers             int   `json:"workers"`
+
+	Campaigns []*campaign.Report `json:"campaigns"`
+}
+
+// platoonWorkload is one named platoon campaign configuration.
+type platoonWorkload struct {
+	Name string
+	Cfg  platoon.SimConfig
+}
+
+// platoonInvariants is the chain's checker set: pairwise no-collision,
+// per-link sound estimates, the true-state stopping-distance slack, and
+// the string-stability bound on consecutive-link peak gap errors.
+func platoonInvariants(cfg platoon.SimConfig) []sim.Invariant {
+	return []sim.Invariant{
+		sim.NoCollision{},
+		sim.SoundEstimate{},
+		carfollow.TrueSlack{Cfg: cfg.LinkScenario()},
+		platoon.StringStability{},
+	}
+}
+
+// platoonAgent builds the matrix's NN vehicle: the ultimate compound
+// design around the aggressive expert (the planner that exercises κ_e
+// hardest), constructed against the effective per-link scenario so its
+// monitoring matches the engine's.
+func platoonAgent(cfg platoon.SimConfig) carfollow.Agent {
+	sc := cfg.LinkScenario()
+	return carfollow.NewUltimate(sc, carfollow.AggressiveExpert(sc))
+}
+
+// platoonMatrix builds the benchmark workloads for an N-vehicle chain.
+func platoonMatrix(vehicles int) []platoonWorkload {
+	base := func() platoon.SimConfig {
+		cfg := platoon.DefaultSimConfig()
+		cfg.Vehicles = vehicles
+		cfg.InfoFilter = true
+		return cfg
+	}
+	var out []platoonWorkload
+
+	clean := base()
+	out = append(out, platoonWorkload{"platoon/clean", clean})
+
+	delayed := base()
+	delayed.Comms = comms.Delayed(0.25, 0.5)
+	out = append(out, platoonWorkload{"platoon/delayed-all-links", delayed})
+
+	lost := base()
+	lost.Comms = comms.Lost()
+	out = append(out, platoonWorkload{"platoon/lost-all-links", lost})
+
+	bm, err := disturb.Preset("burst")
+	if err != nil {
+		// Registry constant; failure is a programming error.
+		panic(err)
+	}
+	for link := 0; link < vehicles-1; link++ {
+		cfg := base()
+		lc := make([]comms.Config, vehicles-1)
+		for l := range lc {
+			lc[l] = comms.NoDisturbance()
+		}
+		lc[link] = comms.Disturbed(bm)
+		cfg.LinkComms = lc
+		out = append(out, platoonWorkload{fmt.Sprintf("platoon/burst-link-%d", link), cfg})
+	}
+	return out
+}
+
+// runPlatoonMatrix runs the chained-link matrix through the sharded
+// campaign engine with the checkers in counting mode and writes
+// BENCH_platoon.json.  Like the guard matrix, any nonzero violation
+// counter fails the run: the report doubles as the chain's safety audit.
+func runPlatoonMatrix(vehicles, n, w int, seed int64, out string) {
+	report := platoonBenchReport{
+		GeneratedBy:         "cmd/bench -platoon",
+		GoVersion:           runtime.Version(),
+		GOOS:                runtime.GOOS,
+		GOARCH:              runtime.GOARCH,
+		NumCPU:              runtime.NumCPU(),
+		Vehicles:            vehicles,
+		EpisodesPerCampaign: n,
+		BaseSeed:            seed,
+		Workers:             w,
+	}
+	for _, wl := range platoonMatrix(vehicles) {
+		if err := wl.Cfg.Validate(); err != nil {
+			log.Fatalf("campaign %s: %v", wl.Name, err)
+		}
+		rep, err := campaign.Run(campaign.Spec{
+			Name:            wl.Name,
+			Episodes:        n,
+			BaseSeed:        seed,
+			Workers:         w,
+			Invariants:      platoonInvariants(wl.Cfg),
+			CountViolations: true,
+		}, campaign.Platoon(wl.Cfg, platoonAgent(wl.Cfg)))
+		if err != nil {
+			log.Fatalf("campaign %s: %v", wl.Name, err)
+		}
+		for name, v := range rep.Stats.InvariantViolations {
+			if v != 0 {
+				log.Fatalf("campaign %s: invariant %s violated %d times", wl.Name, name, v)
+			}
+		}
+		log.Printf("%-28s %6d eps  %8.0f eps/s  safe %.4f [%.4f, %.4f]",
+			wl.Name, rep.Stats.Episodes, rep.Perf.EpisodesPerSec,
+			rep.Stats.SafeRate.Rate, rep.Stats.SafeRate.Lo, rep.Stats.SafeRate.Hi)
+		report.Campaigns = append(report.Campaigns, rep)
+	}
+
+	raw, err := json.MarshalIndent(report, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if out == "-" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := campaign.WriteFileAtomic(out, raw); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d campaigns)", out, len(report.Campaigns))
+}
+
+// runPlatoonSmoke is the platoon CI gate: a clean chain and one with the
+// adversarial burst preset on its middle link, every checker — including
+// string stability — in fail mode.  Any pairwise gap violation, unsound
+// link estimate, burned stopping-distance slack, or string-stability
+// breach fails the process, and the sound_violations counter must come
+// back zero from both campaigns.
+func runPlatoonSmoke(vehicles, workers int, seed int64) {
+	clean := platoon.DefaultSimConfig()
+	clean.Vehicles = vehicles
+	clean.InfoFilter = true
+
+	burst := platoon.DefaultSimConfig()
+	burst.Vehicles = vehicles
+	burst.InfoFilter = true
+	bm, err := disturb.Preset("burst")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lc := make([]comms.Config, vehicles-1)
+	for l := range lc {
+		lc[l] = comms.NoDisturbance()
+	}
+	lc[(vehicles-1)/2] = comms.Disturbed(bm)
+	burst.LinkComms = lc
+
+	for _, s := range []struct {
+		label string
+		cfg   platoon.SimConfig
+	}{
+		{"clean", clean},
+		{"burst-mid-link", burst},
+	} {
+		if err := s.cfg.Validate(); err != nil {
+			log.Fatalf("PLATOON SMOKE FAILED (%s): %v", s.label, err)
+		}
+		rep, err := campaign.Run(campaign.Spec{
+			Name:       "platoon-smoke/" + s.label,
+			Episodes:   10_000,
+			BaseSeed:   seed,
+			Workers:    workers,
+			Invariants: platoonInvariants(s.cfg),
+		}, campaign.Platoon(s.cfg, platoonAgent(s.cfg)))
+		if err != nil {
+			log.Fatalf("PLATOON SMOKE FAILED (%s): %v", s.label, err)
+		}
+		if rep.Stats.Collided != 0 {
+			log.Fatalf("PLATOON SMOKE FAILED (%s): %d collisions (must be 0)", s.label, rep.Stats.Collided)
+		}
+		if rep.Stats.SoundViolations != 0 {
+			log.Fatalf("PLATOON SMOKE FAILED (%s): %d sound-interval violations (must be 0)",
+				s.label, rep.Stats.SoundViolations)
+		}
+		fmt.Printf("smoke OK (platoon %s, N=%d): %d episodes, safe %d/%d, %.0f eps/s, emergency episodes %d, sound violations 0\n",
+			s.label, vehicles, rep.Stats.Episodes, rep.Stats.Episodes-rep.Stats.Collided, rep.Stats.Episodes,
+			rep.Perf.EpisodesPerSec, rep.Stats.EmergencyEpisodes)
+	}
+}

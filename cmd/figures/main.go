@@ -10,15 +10,19 @@
 //	        [-n 400] [-seed 42] [-csv] [-nn] [-models DIR]
 //
 // Beyond the paper's figures, "burst" sweeps the mean loss-burst length
-// of a Gilbert–Elliott channel and "worstcase" tabulates the adversarial
+// of a Gilbert–Elliott channel, "worstcase" tabulates the adversarial
 // disturbance settings (burst loss, jitter+reordering, stale replay,
-// blackout, sensor bias drift) — the worst-case companion of Table I/II.
+// blackout, sensor bias drift) — the worst-case companion of Table I/II —
+// and "platoon" tabulates the N-vehicle chained-link platoon: a
+// chain-length sweep under delayed messaging plus the burst preset
+// rotated over each individual V2V link.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
 	"safeplan/internal/experiments"
@@ -30,7 +34,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig    = flag.String("fig", "all", "figure id: 5a–5f, 6a, 6b, rmse, ablation, stream, carfollow, burst, worstcase, or all")
+		fig    = flag.String("fig", "all", "figure id: 5a–5f, 6a, 6b, rmse, ablation, stream, carfollow, platoon, burst, worstcase, or all")
 		n      = flag.Int("n", 400, "episodes per sweep point")
 		seed   = flag.Int64("seed", experiments.DefaultSeed, "base seed")
 		csv    = flag.Bool("csv", false, "emit CSV instead of tables/ASCII charts")
@@ -63,10 +67,11 @@ func main() {
 		"6a": app.fig6a, "6b": app.fig6b,
 		"rmse": app.rmse, "ablation": app.ablation,
 		"stream": app.stream, "carfollow": app.carfollow,
-		"burst": app.burst, "worstcase": app.worstcase,
+		"platoon": app.platoon,
+		"burst":   app.burst, "worstcase": app.worstcase,
 	}
 	if *fig == "all" {
-		for _, id := range []string{"5a", "5b", "5c", "5d", "5e", "5f", "6a", "6b", "rmse", "ablation", "stream", "carfollow", "burst", "worstcase"} {
+		for _, id := range []string{"5a", "5b", "5c", "5d", "5e", "5f", "6a", "6b", "rmse", "ablation", "stream", "carfollow", "platoon", "burst", "worstcase"} {
 			if err := figs[id](); err != nil {
 				log.Fatal(err)
 			}
@@ -295,6 +300,37 @@ func (a *app) stream() error {
 	}
 	fmt.Println()
 	return err2
+}
+
+func (a *app) platoon() error {
+	rows, err := experiments.PlatoonTable(a.n, a.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Platoon extension: chained V2V links, ultimate aggressive κ_n (n=%d)\n", a.n)
+	tb := textio.NewTable("setting", "vehicles", "safe rate", "η value", "emergency freq", "min link gap", "max amplification")
+	for _, r := range rows {
+		tb.AddRow(r.Setting, fmt.Sprint(r.Vehicles),
+			textio.Pct(r.SafeRate), textio.F(r.Eta, 3), textio.Pct(r.EmergencyFreq),
+			fOrDash(r.MinLinkGap, 2), fOrDash(r.MaxAmp, 3))
+	}
+	var err2 error
+	if a.csv {
+		err2 = tb.CSV(os.Stdout)
+	} else {
+		err2 = tb.Render(os.Stdout)
+	}
+	fmt.Println()
+	return err2
+}
+
+// fOrDash formats a float like textio.F but renders NaN — the "column
+// does not apply to this row" marker — as a dash.
+func fOrDash(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return textio.F(v, prec)
 }
 
 func (a *app) burst() error {

@@ -9,6 +9,7 @@ import (
 
 	"safeplan/internal/carfollow"
 	"safeplan/internal/core"
+	"safeplan/internal/platoon"
 	"safeplan/internal/sim"
 	"safeplan/internal/telemetry"
 )
@@ -21,9 +22,9 @@ import (
 const DefaultShards = 64
 
 // EpisodeFunc runs one episode under the given options (the campaign
-// runner fills in Seed, Collector, and Invariants).  The three scenario
-// adapters — LeftTurn, MultiVehicle, CarFollow — wrap the engine's episode
-// runners; custom workloads can supply their own.
+// runner fills in Seed, Collector, and Invariants).  The scenario
+// adapters — LeftTurn, MultiVehicle, CarFollow, Platoon — wrap the
+// engine's episode runners; custom workloads can supply their own.
 type EpisodeFunc func(opts sim.Options) (sim.Result, error)
 
 // LeftTurn adapts the single-vehicle left-turn runner.  The agent is
@@ -41,6 +42,11 @@ func MultiVehicle(cfg sim.MultiConfig, agent core.MultiAgent) EpisodeFunc {
 // CarFollow adapts the car-following runner.
 func CarFollow(cfg carfollow.SimConfig, agent carfollow.Agent) EpisodeFunc {
 	return func(opts sim.Options) (sim.Result, error) { return carfollow.RunEpisode(cfg, agent, opts) }
+}
+
+// Platoon adapts the N-vehicle platoon runner.
+func Platoon(cfg platoon.SimConfig, agent carfollow.Agent) EpisodeFunc {
+	return func(opts sim.Options) (sim.Result, error) { return platoon.RunEpisode(cfg, agent, opts) }
 }
 
 // Spec configures a campaign.

@@ -1,0 +1,119 @@
+package carfollow
+
+import (
+	"math"
+	"testing"
+
+	"safeplan/internal/dynamics"
+	"safeplan/internal/interval"
+)
+
+// These tests pin the edge semantics of the safety predicates — the
+// overtake geometry (lead level with or behind the ego, which the chained
+// platoon links can present to a follower after a collision upstream) and
+// empty-interval estimates (a filter with no information yet).  The
+// assertions document current behaviour so any change is a deliberate,
+// visible decision rather than an accident.
+
+// TestViolationBoundary: the unsafe set is the *open* gap region
+// (paper §II-A: |p0 − pi| < p_gap), so a gap of exactly PGap is safe and
+// anything below — including a lead level with or behind the ego, where
+// the signed gap is zero or negative — violates.
+func TestViolationBoundary(t *testing.T) {
+	c := DefaultConfig()
+	ego := dynamics.State{P: 100, V: 10}
+	cases := []struct {
+		name  string
+		leadP float64
+		want  bool
+	}{
+		{"wide gap", 100 + 3*c.PGap, false},
+		{"exactly PGap", 100 + c.PGap, false},
+		{"just inside", 100 + c.PGap - 1e-9, true},
+		{"level", 100, true},
+		{"lead behind ego", 90, true},
+	}
+	for _, tc := range cases {
+		if got := c.Violation(ego, dynamics.State{P: tc.leadP, V: 10}); got != tc.want {
+			t.Errorf("%s: Violation = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestOvertakeGeometry: with the lead at or behind the ego, the slack is
+// necessarily negative (the criterion cannot hold without a positive
+// gap), the state is in the unsafe set, and the monitor demands κ_e.
+func TestOvertakeGeometry(t *testing.T) {
+	c := DefaultConfig()
+	ego := dynamics.State{P: 100, V: 10}
+	for _, leadP := range []float64{100, 95} {
+		lead := ExactLead(dynamics.State{P: leadP, V: 10}, 0)
+		if !c.InUnsafeSet(ego, lead) {
+			t.Errorf("lead at p=%v: not in unsafe set", leadP)
+		}
+		if s := c.Slack(ego, lead); s >= 0 {
+			t.Errorf("lead at p=%v: nonnegative slack %v", leadP, s)
+		}
+		if !c.InBoundarySafeSet(ego, lead) {
+			t.Errorf("lead at p=%v: boundary test does not demand κ_e", leadP)
+		}
+	}
+	// Equal speeds and stopping profiles: slack reduces exactly to
+	// gap − PGap, so the sign flips at PGap.
+	lead := ExactLead(dynamics.State{P: 100 + c.PGap, V: 10}, 0)
+	if s := c.Slack(ego, lead); s != 0 {
+		t.Errorf("matched-profile slack at gap=PGap: got %v, want 0", s)
+	}
+}
+
+// TestEmptyEstimateSemantics: an empty interval estimate means "no lead
+// known"; the predicates treat that as unconstrained — not-unsafe,
+// not-boundary, infinite slack.  Soundness for an *actually present*
+// lead is the fusion layer's contract (sound intervals are never empty
+// while a tracked vehicle exists), enforced by sim.SoundEstimate.
+func TestEmptyEstimateSemantics(t *testing.T) {
+	c := DefaultConfig()
+	ego := dynamics.State{P: 100, V: 10}
+	empty := LeadEstimate{P: interval.Empty(), V: interval.Empty()}
+	if c.InUnsafeSet(ego, empty) {
+		t.Error("empty estimate classified unsafe")
+	}
+	if c.InBoundarySafeSet(ego, empty) {
+		t.Error("empty estimate classified boundary-unsafe")
+	}
+	if s := c.Slack(ego, empty); !math.IsInf(s, 1) {
+		t.Errorf("empty estimate slack = %v, want +Inf", s)
+	}
+	// Half-empty estimates (position known, velocity not): Slack is the
+	// guarded predicate and still reports unconstrained.
+	halfEmpty := LeadEstimate{P: interval.Point(130), V: interval.Empty()}
+	if s := c.Slack(ego, halfEmpty); !math.IsInf(s, 1) {
+		t.Errorf("empty-velocity slack = %v, want +Inf", s)
+	}
+	// InUnsafeSet guards only on position: a known-close position with
+	// unknown velocity still reads unsafe.
+	close := LeadEstimate{P: interval.Point(ego.P + c.PGap/2), V: interval.Empty()}
+	if !c.InUnsafeSet(ego, close) {
+		t.Error("close lead with unknown velocity not classified unsafe")
+	}
+}
+
+// TestSlackStoppedVehicles: both vehicles stopped reduces the criterion
+// to the bare gap test — positive slack iff the gap exceeds PGap.
+func TestSlackStoppedVehicles(t *testing.T) {
+	c := DefaultConfig()
+	ego := dynamics.State{P: 100, V: 0}
+	if s := c.Slack(ego, ExactLead(dynamics.State{P: 100 + c.PGap + 1, V: 0}, 0)); s != 1 {
+		t.Errorf("stopped slack = %v, want 1", s)
+	}
+	if s := c.Slack(ego, ExactLead(dynamics.State{P: 100 + c.PGap - 1, V: 0}, 0)); s != -1 {
+		t.Errorf("stopped slack = %v, want -1", s)
+	}
+	// κ_e from rest holds position rather than commanding reverse thrust.
+	if a := c.EmergencyAccel(ego); a != 0 {
+		t.Errorf("κ_e from rest = %v, want 0", a)
+	}
+	if a := c.EmergencyAccel(dynamics.State{P: 0, V: 5}); a != c.Ego.AMin {
+		t.Errorf("κ_e while moving = %v, want %v", a, c.Ego.AMin)
+	}
+}

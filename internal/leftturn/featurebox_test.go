@@ -133,7 +133,7 @@ func TestFeatureBoxEmptySound(t *testing.T) {
 	for _, est := range []OncomingEstimate{
 		{P: interval.Empty(), V: interval.New(0, 5)},
 		{P: interval.New(-10, 0), V: interval.Empty()},
-		{P: interval.New(c.Geometry.PB + 1, c.Geometry.PB + 5), V: interval.New(0, 5)},
+		{P: interval.New(c.Geometry.PB+1, c.Geometry.PB+5), V: interval.New(0, 5)},
 	} {
 		c.FeatureBoxInto(box[:], 3, ego, est, false)
 		cap := interval.Point(float64(FeatureTimeCap))

@@ -1,0 +1,135 @@
+package platoon
+
+import (
+	"testing"
+
+	"safeplan/internal/carfollow"
+	"safeplan/internal/comms"
+	"safeplan/internal/disturb"
+	"safeplan/internal/sim"
+)
+
+// ffReader decodes fuzz bytes into bounded parameters (the platoon twin
+// of the decoder in internal/carfollow; each package keeps its own copy
+// so the fuzz targets stay self-contained).
+type ffReader struct {
+	data []byte
+	i    int
+}
+
+func (r *ffReader) next() byte {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return b
+}
+
+func (r *ffReader) unit() float64 { return float64(r.next()) / 255 }
+
+func (r *ffReader) rng(lo, hi float64) float64 { return lo + r.unit()*(hi-lo) }
+
+func ffModel(r *ffReader) disturb.Model {
+	switch r.next() % 5 {
+	case 0:
+		return nil
+	case 1:
+		return disturb.IID{DropProb: r.unit(), Delay: r.rng(0, 0.5)}
+	case 2:
+		return disturb.GilbertElliott{
+			PGoodBad: r.unit(),
+			PBadGood: r.rng(0.02, 1),
+			DropBad:  r.unit(),
+			Delay:    r.rng(0, 0.3),
+		}
+	case 3:
+		return disturb.Jitter{
+			Base:     r.rng(0, 0.2),
+			Spread:   r.rng(0, 0.8),
+			TailProb: r.unit(),
+			TailMean: r.rng(0, 1),
+			DropProb: r.unit(),
+		}
+	default:
+		s1 := r.rng(0, 10)
+		return disturb.Schedule{Phases: []disturb.Phase{
+			{Start: s1, Model: disturb.Blackout{}},
+			{Start: s1 + r.rng(0.5, 5), Model: disturb.IID{DropProb: r.unit()}},
+		}}
+	}
+}
+
+// FuzzPlatoonSafety decodes arbitrary bytes into a chain length, an
+// independent channel disturbance per link, an optional sensing
+// disturbance, and a scripted head behaviour, and asserts the framework's
+// guarantees across the whole chain via the shared invariant checkers:
+// no pairwise gap violation anywhere, sound estimates contain the true
+// predecessor state on every link, and the true-state stopping-distance
+// slack stays nonnegative for every follower pair.
+func FuzzPlatoonSafety(f *testing.F) {
+	// Seed corpus: the carfollow-equivalent chain, per-link disturbance
+	// geometries, and a hard-braking head.
+	f.Add([]byte{}, int64(1))                          // N=2, perfect comms
+	f.Add([]byte{2, 1, 127, 127, 0, 0}, int64(42))     // N=4, delayed middle link
+	f.Add([]byte{1, 4, 60, 90, 128, 2, 0}, int64(7))   // N=3, blackout on head link
+	f.Add([]byte{3, 0, 2, 200, 40, 200, 30}, int64(9)) // N=5, bursty tail link
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0}, int64(3)) // head slams the brakes (script of aMin)
+
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		r := &ffReader{data: data}
+		cfg := DefaultSimConfig()
+		cfg.Vehicles = 2 + int(r.next()%4) // chains of 2..5 vehicles
+		links := make([]comms.Config, cfg.Vehicles-1)
+		anyModel := false
+		for l := range links {
+			links[l] = comms.NoDisturbance()
+			if m := ffModel(r); m != nil {
+				links[l] = comms.Disturbed(m)
+				anyModel = true
+			}
+		}
+		if anyModel {
+			cfg.LinkComms = links
+		}
+		switch r.next() % 3 {
+		case 1:
+			cfg.SensorDisturb = disturb.BiasDrift{Rate: r.unit(), Max: r.unit()}
+		case 2:
+			cfg.SensorDisturb = disturb.SensorDropout{
+				PGoodBad: r.rng(0, 0.3),
+				PBadGood: r.rng(0.05, 1),
+				DropBad:  r.unit(),
+			}
+		}
+		sc := cfg.Scenario
+		agents := []carfollow.Agent{
+			carfollow.NewBasic(sc, carfollow.ConservativeExpert(sc)),
+			carfollow.NewBasic(sc, carfollow.AggressiveExpert(sc)),
+		}
+		agent := agents[int(r.next())%len(agents)]
+		// Script the head from the remaining bytes (one control step per
+		// byte, clamped into its physical envelope).
+		if n := len(r.data) - r.i; n > 0 {
+			if n > 400 {
+				n = 400
+			}
+			script := make([]float64, n)
+			for i := range script {
+				script[i] = r.rng(sc.Lead.AMin, sc.Lead.AMax)
+			}
+			cfg.LeadScript = script
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid config: %v", err)
+		}
+		_, err := RunEpisode(cfg, agent, sim.Options{Seed: seed, Invariants: []sim.Invariant{
+			sim.NoCollision{},
+			sim.SoundEstimate{},
+			carfollow.TrueSlack{Cfg: cfg.Scenario},
+		}})
+		if err != nil {
+			t.Fatalf("invariant violated on a %d-vehicle chain: %v", cfg.Vehicles, err)
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package platoon
+
+import (
+	"fmt"
+	"math"
+
+	"safeplan/internal/sim"
+)
+
+// Default string-stability thresholds.
+const (
+	// DefaultAmpTol admits 10% peak-gap-error growth per link before the
+	// chain counts as string-unstable.
+	DefaultAmpTol = 0.1
+	// DefaultFloor is the absolute gap-error level [m] below which
+	// amplification is not assessed: ratios of near-zero errors are noise,
+	// not propagation.
+	DefaultFloor = 0.5
+)
+
+// StringStability is the chain-level episode invariant: a disturbance
+// entering at the head must not amplify in peak gap-error as it
+// propagates down the follower links.  Writing e_ℓ for link ℓ's gap error
+// (deviation of the bumper gap from its initial equilibrium value), the
+// checker requires, for every adjacent pair of links,
+//
+//	peak|e_{ℓ+1}| ≤ (1 + AmpTol) · max(peak|e_ℓ|, Floor)
+//
+// over the whole episode.  It reads the per-link statistics the platoon
+// engine publishes in Result.Links, so it only bites on chains longer
+// than one link (shorter episodes have no propagation to assess) and is
+// a no-op when attached to non-platoon scenarios.
+type StringStability struct {
+	sim.EpisodeOnly
+	// AmpTol is the admissible relative amplification per link; 0 selects
+	// DefaultAmpTol.
+	AmpTol float64
+	// Floor is the absolute peak-error floor [m]; 0 selects DefaultFloor.
+	Floor float64
+}
+
+// Name implements sim.Invariant.
+func (StringStability) Name() string { return "string-stability" }
+
+// CheckEpisode implements sim.Invariant.
+func (c StringStability) CheckEpisode(r *sim.Result) error {
+	if len(r.Links) < 2 {
+		return nil
+	}
+	tol := c.AmpTol
+	if tol == 0 {
+		tol = DefaultAmpTol
+	}
+	floor := c.Floor
+	if floor == 0 {
+		floor = DefaultFloor
+	}
+	for l := 1; l < len(r.Links); l++ {
+		up := r.Links[l-1].PeakGapErr
+		down := r.Links[l].PeakGapErr
+		if bound := (1 + tol) * math.Max(up, floor); down > bound {
+			return &sim.ViolationError{
+				Invariant: StringStability{}.Name(),
+				T:         math.NaN(),
+				Detail: fmt.Sprintf(
+					"peak gap error amplified down the chain: link %d peak %.3f m > %.3f m (link %d peak %.3f m, tol %.0f%%)",
+					l, down, bound, l-1, up, tol*100),
+			}
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
 	"safeplan/internal/planner"
+	"safeplan/internal/telemetry"
 )
 
 // The allocation gate: with a warmed scratch arena, an episode's steady
@@ -66,6 +67,37 @@ func TestMultiEpisodeAllocs(t *testing.T) {
 	})
 	if avg > episodeAllocBudget {
 		t.Errorf("multi-vehicle episode allocates %.1f times with a warm scratch (budget %d)", avg, episodeAllocBudget)
+	}
+}
+
+// TestMultiEpisodeAllocsWithCollector is the regression test for the
+// collector-attached probe path: multiStepProbe used to allocate two
+// fresh window slices per control step, so attaching telemetry broke the
+// zero-alloc contract the bare gate above cannot see.  The window scratch
+// now lives in the arena, and telemetry.Metrics itself is allocation-free
+// (atomics and histogram bucket adds), so the same budget applies.
+func TestMultiEpisodeAllocsWithCollector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate is not meaningful with -short")
+	}
+	cfg := DefaultMultiConfig()
+	cfg.Comms = allocBenchConfig().Comms
+	cfg.InfoFilter = true
+	agent := consMultiAgent(cfg)
+	coll := telemetry.NewMetrics()
+	sh := NewScratch()
+	if _, err := RunMulti(cfg, agent, Options{Seed: 1, Scratch: sh, Collector: coll}); err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(0)
+	avg := testing.AllocsPerRun(10, func() {
+		seed++
+		if _, err := RunMulti(cfg, agent, Options{Seed: seed, Scratch: sh, Collector: coll}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > episodeAllocBudget {
+		t.Errorf("collector-attached multi-vehicle episode allocates %.1f times with a warm scratch (budget %d)", avg, episodeAllocBudget)
 	}
 }
 

@@ -92,11 +92,11 @@ func RunMulti(cfg MultiConfig, agent core.MultiAgent, opts Options) (Result, err
 // multiStepProbe condenses the per-vehicle knowledge into one telemetry
 // probe: the estimate widths report the worst-tracked (widest) vehicle,
 // and the window widths report the most constraining window — exactly the
-// one handed to κ_n.
-func multiStepProbe(sc leftturn.Config, t float64, emergency bool, ks []core.Knowledge, plannerNs int64) telemetry.StepProbe {
+// one handed to κ_n.  cons and aggr are caller-owned per-track scratch
+// slices of length len(ks) (hoisted into the episode arena so a
+// collector-attached run stays allocation-free per step).
+func multiStepProbe(sc leftturn.Config, t float64, emergency bool, ks []core.Knowledge, cons, aggr []interval.Interval, plannerNs int64) telemetry.StepProbe {
 	p := telemetry.StepProbe{T: t, Emergency: emergency, PlannerNs: plannerNs}
-	cons := make([]interval.Interval, len(ks))
-	aggr := make([]interval.Interval, len(ks))
 	for i, k := range ks {
 		if w := k.Sound.P.Width(); w > p.SoundWidth {
 			p.SoundWidth = w

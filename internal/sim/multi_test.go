@@ -40,6 +40,50 @@ func TestMultiValidate(t *testing.T) {
 	}
 }
 
+// TestSpacingDistZeroSelectsDefault is the regression test for the
+// documented zero-default: a zero SpacingDist must behave exactly like
+// DefaultSpacingDist rather than stacking every oncoming vehicle at the
+// same start position (modulo jitter), which is what the runner silently
+// did before the fill was applied.
+func TestSpacingDistZeroSelectsDefault(t *testing.T) {
+	zero := multiConfig()
+	zero.SpacingDist = 0
+	explicit := multiConfig()
+	explicit.SpacingDist = DefaultSpacingDist
+	stacked := multiConfig()
+	stacked.SpacingDist = 1e-9 // effectively stacked, but non-zero: no fill
+	for seed := int64(0); seed < 10; seed++ {
+		z, err := RunMulti(zero, multiUltimate(zero, false), Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := RunMulti(explicit, multiUltimate(explicit, false), Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zs, es := mustJSON(t, z), mustJSON(t, e); zs != es {
+			t.Fatalf("seed %d: zero spacing differs from DefaultSpacingDist\nzero:    %s\ndefault: %s", seed, zs, es)
+		}
+	}
+	// The distinction must be observable: a genuinely tiny spacing yields a
+	// different episode than the default fill on at least one seed.
+	differs := false
+	for seed := int64(0); seed < 10 && !differs; seed++ {
+		z, err := RunMulti(zero, multiUltimate(zero, false), Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := RunMulti(stacked, multiUltimate(stacked, false), Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		differs = mustJSON(t, z) != mustJSON(t, s)
+	}
+	if !differs {
+		t.Fatal("near-zero spacing indistinguishable from the default fill — regression test inert")
+	}
+}
+
 func TestRunMultiReachesSafely(t *testing.T) {
 	cfg := multiConfig()
 	cfg.InfoFilter = true

@@ -9,6 +9,7 @@ import (
 	"safeplan/internal/dynamics"
 	"safeplan/internal/fusion"
 	"safeplan/internal/guard"
+	"safeplan/internal/interval"
 	"safeplan/internal/leftturn"
 	"safeplan/internal/monitor"
 
@@ -34,6 +35,9 @@ type MultiStepper struct {
 	tracks []oncomingTrack
 	ks     []core.Knowledge
 	ests   []fusion.Estimate
+
+	// Telemetry-probe window scratch (nil unless a collector is attached).
+	cons, aggr []interval.Interval
 
 	sensDropRng *rand.Rand
 
@@ -84,6 +88,13 @@ func NewMultiStepper(cfg MultiConfig, agent core.MultiAgent, opts Options) (*Mul
 	st.sc = sc
 	tracks := sh.trackSlice(cfg.Vehicles)
 	st.tracks = tracks
+	// Zero spacing selects the documented default; without the fill a
+	// zero-valued MultiConfig stacked every oncoming vehicle at the same
+	// start position (modulo jitter).
+	spacing := cfg.SpacingDist
+	if spacing == 0 {
+		spacing = DefaultSpacingDist
+	}
 	offset := 0.0
 	for i := range tracks {
 		tr := &tracks[i]
@@ -116,7 +127,7 @@ func NewMultiStepper(cfg MultiConfig, agent core.MultiAgent, opts Options) (*Mul
 			s.V = cfg.OncomingSpeedMin + initRng.Float64()*(cfg.OncomingSpeedMax-cfg.OncomingSpeedMin)
 		}
 		s.P -= offset
-		offset += cfg.SpacingDist + initRng.Float64()*cfg.SpacingJitter
+		offset += spacing + initRng.Float64()*cfg.SpacingJitter
 		filt.InitExact(0, s, 0)
 		*tr = oncomingTrack{state: s, driver: driver, channel: channel, sensor: sens, filter: filt}
 	}
@@ -147,6 +158,9 @@ func NewMultiStepper(cfg MultiConfig, agent core.MultiAgent, opts Options) (*Mul
 	st.maxSteps = int(horizon/st.dt) + 1
 	st.ks, st.ests = sh.knowledgeSlices(len(tracks))
 	st.msgBuf = sh.MsgBuf()
+	if st.coll != nil {
+		st.cons, st.aggr = sh.windowSlices(len(tracks))
+	}
 
 	if st.plan == nil {
 		// Built once per pooled MultiStepper (see Stepper): the closures
@@ -285,7 +299,7 @@ func (st *MultiStepper) Step(in StepInput) (StepOutcome, error) {
 		a0, emergency = st.plan()
 	}
 	if st.coll != nil {
-		st.coll.OnStep(multiStepProbe(sc, t, emergency, st.ks, time.Since(start).Nanoseconds()))
+		st.coll.OnStep(multiStepProbe(sc, t, emergency, st.ks, st.cons, st.aggr, time.Since(start).Nanoseconds()))
 		if st.gs != nil {
 			st.gs.Report(st.coll, t, gres)
 		}

@@ -6,6 +6,7 @@ import (
 	"safeplan/internal/comms"
 	"safeplan/internal/core"
 	"safeplan/internal/fusion"
+	"safeplan/internal/interval"
 	"safeplan/internal/sensor"
 	"safeplan/internal/traffic"
 	"safeplan/internal/xrand"
@@ -59,6 +60,11 @@ type Scratch struct {
 	tracks []oncomingTrack
 	knows  []core.Knowledge
 	ests   []fusion.Estimate
+
+	// Per-track passing-window storage for the multi-vehicle telemetry
+	// probe (collector-attached runs only).
+	cons []interval.Interval
+	aggr []interval.Interval
 
 	// Pooled resumable engines.  A Stepper carries its own hot-path
 	// closures (built once, capturing only the stepper pointer), so
@@ -313,6 +319,26 @@ func (s *Scratch) trackSlice(n int) []oncomingTrack {
 		s.tracks[i] = oncomingTrack{}
 	}
 	return s.tracks
+}
+
+// windowSlices returns two zeroed per-track window slices for the
+// multi-vehicle telemetry probe.  Acquired once per episode (only when a
+// collector is attached), so even the nil-receiver path allocates per
+// episode rather than per step.
+func (s *Scratch) windowSlices(n int) (cons, aggr []interval.Interval) {
+	if s == nil {
+		return make([]interval.Interval, n), make([]interval.Interval, n)
+	}
+	if cap(s.cons) < n {
+		s.cons = make([]interval.Interval, n)
+		s.aggr = make([]interval.Interval, n)
+	}
+	s.cons, s.aggr = s.cons[:n], s.aggr[:n]
+	for i := range s.cons {
+		s.cons[i] = interval.Interval{}
+		s.aggr[i] = interval.Interval{}
+	}
+	return s.cons, s.aggr
 }
 
 // knowledgeSlices returns zeroed per-track knowledge and estimate slices

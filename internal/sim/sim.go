@@ -262,7 +262,28 @@ type Result struct {
 	CertifiedSteps       int
 	CertifiedRangeMisses int
 
+	// Links carries the per-link chain statistics of a platoon episode
+	// (internal/platoon): entry ℓ describes the link from vehicle ℓ to
+	// vehicle ℓ+1.  Populated only for chains longer than one link
+	// (Vehicles > 2), so a two-vehicle platoon episode serializes
+	// byte-identically to the car-following episode it reproduces.
+	Links []LinkStats `json:",omitempty"`
+
 	Trace []Sample
+}
+
+// LinkStats scores one inter-vehicle link of a platoon episode.
+type LinkStats struct {
+	// MinGap is the smallest observed bumper gap over the episode [m].
+	MinGap float64
+	// PeakGapErr is the peak absolute deviation of the gap from its
+	// initial (equilibrium) value [m] — the per-link amplitude the
+	// string-stability invariant compares down the chain.
+	PeakGapErr float64
+	// EmergencySteps counts control steps in which this link's follower
+	// commanded emergency braking (always 0 for link 0, whose follower is
+	// the NN vehicle scored by Result.EmergencySteps).
+	EmergencySteps int
 }
 
 // EmergencyFrequency is the fraction of control steps commanded by κ_e.

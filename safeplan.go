@@ -42,6 +42,7 @@ import (
 	"safeplan/internal/leftturn"
 	"safeplan/internal/nn/ibp"
 	"safeplan/internal/planner"
+	"safeplan/internal/platoon"
 	"safeplan/internal/sensor"
 	"safeplan/internal/serve"
 	"safeplan/internal/sim"
@@ -560,7 +561,7 @@ type (
 	InvariantViolation = sim.ViolationError
 )
 
-// Campaign episode adapters for the three scenarios.
+// Campaign episode adapters for the scenarios.
 var (
 	// LeftTurnCampaign adapts the single-vehicle left-turn runner.
 	LeftTurnCampaign = campaign.LeftTurn
@@ -568,6 +569,8 @@ var (
 	MultiVehicleCampaign = campaign.MultiVehicle
 	// CarFollowCampaign adapts the car-following runner.
 	CarFollowCampaign = campaign.CarFollow
+	// PlatoonCampaign adapts the N-vehicle chained-link platoon runner.
+	PlatoonCampaign = campaign.Platoon
 	// LeftTurnBatchCampaign adapts the lockstep batched left-turn engine
 	// (internal/sim/batch) for RunBatchedCampaign.
 	LeftTurnBatchCampaign = campaign.LeftTurnBatch
@@ -791,6 +794,75 @@ func RunCarFollowCampaign(cfg CarFollowSimConfig, agent CarFollowAgent, n int, b
 	s.attach(agent)
 	s.applyCarFollow(&cfg)
 	rs, err := carfollow.RunCampaign(cfg, agent, n, sim.CampaignOptions{
+		Options:  sim.Options{Collector: s.collector},
+		BaseSeed: baseSeed,
+		Workers:  s.workers,
+	})
+	if err != nil {
+		return CampaignStats{}, wrapErr(err)
+	}
+	return eval.Aggregate(rs), nil
+}
+
+// Platoon extension (the ReachMM platooning setting over the paper's
+// §II-A unsafe set): an N-vehicle chain behind an exogenous stop-and-go
+// head, one NN-controlled vehicle under the full κ_n/κ_e compound stack,
+// analytic followers behind it, and a chained V2V link — channel, sensor
+// stream, fusion filter, optional disturbance — per vehicle pair.  A
+// two-vehicle platoon reproduces the car-following episode byte for byte
+// at matched config and seed.
+type (
+	// PlatoonSimConfig assembles a platoon campaign.  It embeds
+	// CarFollowSimConfig and adds the chain structure: vehicle count,
+	// initial spacing, per-link channel and sensing overrides, and the
+	// pairwise gap specification.
+	PlatoonSimConfig = platoon.SimConfig
+	// PlatoonGapSpec selects the pairwise unsafe-set variant.
+	PlatoonGapSpec = platoon.GapSpec
+	// PlatoonStringStability is the string-stability invariant: the peak
+	// gap error must not amplify from each link to the next beyond the
+	// configured tolerance.
+	PlatoonStringStability = platoon.StringStability
+)
+
+// The pairwise gap specifications.
+const (
+	// PlatoonFixedGap is the paper's §II-A fixed distance-gap unsafe set
+	// applied to every vehicle pair (the guaranteed variant).
+	PlatoonFixedGap = platoon.FixedGap
+	// PlatoonTimeGap is the ReachMM ACC requirement
+	// Drel ≥ DDefault + TGap·v (scored, not guaranteed).
+	PlatoonTimeGap = platoon.TimeGap
+)
+
+// DefaultPlatoonSimConfig returns the four-vehicle platoon defaults.
+func DefaultPlatoonSimConfig() PlatoonSimConfig { return platoon.DefaultSimConfig() }
+
+// RunPlatoonEpisode simulates one platoon episode.  The agent drives the
+// NN-controlled vehicle and should be constructed against
+// cfg.LinkScenario() so its monitoring matches the engine's.  It accepts
+// the same options as RunEpisode.
+func RunPlatoonEpisode(cfg PlatoonSimConfig, agent CarFollowAgent, seed int64, opts ...RunOption) (EpisodeResult, error) {
+	s, err := applySettings(opts)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+	s.attach(agent)
+	s.applyCarFollow(&cfg.SimConfig)
+	r, err := platoon.RunEpisode(cfg, agent, sim.Options{Seed: seed, Trace: s.trace, Collector: s.collector})
+	return r, wrapErr(err)
+}
+
+// RunPlatoonCampaign simulates n seed-paired platoon episodes and
+// aggregates the statistics.  It accepts the same options as RunCampaign.
+func RunPlatoonCampaign(cfg PlatoonSimConfig, agent CarFollowAgent, n int, baseSeed int64, opts ...RunOption) (CampaignStats, error) {
+	s, err := applySettings(opts)
+	if err != nil {
+		return CampaignStats{}, err
+	}
+	s.attach(agent)
+	s.applyCarFollow(&cfg.SimConfig)
+	rs, err := platoon.RunCampaign(cfg, agent, n, sim.CampaignOptions{
 		Options:  sim.Options{Collector: s.collector},
 		BaseSeed: baseSeed,
 		Workers:  s.workers,
